@@ -1,0 +1,49 @@
+// Package core implements the paper's primary contribution: the
+// constant-delay evaluation algorithm for deterministic sequential extended
+// variable-set automata (Section 3.2 of "Constant delay algorithms for
+// regular document spanners", PODS 2018), together with the counting
+// algorithm of Theorem 5.1.
+//
+// Evaluate (Algorithm 1) runs the preprocessing phase: one pass over the
+// document, alternating the Capturing and Reading procedures, building the
+// "reverse dual" DAG whose nodes are annotated marker sets (S, i) and whose
+// paths to the sink ⊥ are exactly the accepting runs of the automaton.
+// Preprocessing takes O(|A| × |d|) time. Enumeration (Algorithm 2) then
+// walks this DAG depth-first, either push-based (Result.Enumerate) or
+// pull-based (Result.Iterator); the delay between consecutive outputs is
+// O(ℓ) in the number of variables — constant in the document.
+//
+// Count (Algorithm 3, appendix C) reuses the same two-procedure loop but
+// keeps only the number of partial runs per state, computing |⟦A⟧d| in
+// O(|A| × |d|).
+package core
+
+import (
+	"spanners/internal/model"
+)
+
+// Automaton is the deterministic sequential extended VA consumed by the
+// evaluator. It is an interface rather than a concrete automaton so that
+// on-the-fly constructions — notably the lazy determinizer, per the closing
+// remark of Section 4 — can feed Algorithm 1 directly; state identifiers
+// must be small dense integers but may be minted during evaluation.
+//
+// Correctness requires the automaton to be deterministic (per state, at
+// most one letter successor per byte and at most one capture successor per
+// exact marker set) and sequential (every accepting run is valid). The
+// evaluator does not re-verify these properties; the eva package provides
+// the checks and the constructions that establish them.
+type Automaton interface {
+	// Initial returns the initial state.
+	Initial() int
+	// Step returns δ(q, c) for a letter transition, reporting whether it
+	// is defined.
+	Step(q int, c byte) (int, bool)
+	// Captures returns the extended variable transitions leaving q. The
+	// result must not be mutated and must be stable across calls.
+	Captures(q int) []model.Capture
+	// Accepting reports whether q is a final state.
+	Accepting(q int) bool
+	// Registry returns the variable registry of the automaton.
+	Registry() *model.Registry
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math/big"
+)
+
+// Count implements Algorithm 3 (appendix C): it computes |⟦A⟧d| for a
+// deterministic sequential eVA in time O(|A| × |d|) by replacing each node
+// list of Algorithm 1 with the number of partial runs reaching the state.
+// Because the automaton is sequential (every partial run encodes a valid
+// partial mapping) and deterministic (each partial run encodes a distinct
+// partial mapping), the run count per state equals the partial-mapping
+// count, and summing over the final states yields |⟦A⟧d|.
+//
+// Counts use uint64 arithmetic — the uniform-cost RAM model the paper
+// assumes; exact reports whether the result is free of overflow (counts
+// grow like n^2ℓ, so overflow is reachable on purpose-built inputs). Use
+// CountBig for arbitrary precision.
+func Count(a Automaton, doc []byte) (count uint64, exact bool) {
+	c := &counter{a: a}
+	q0 := a.Initial()
+	c.ensure(q0)
+	c.counts[q0] = 1
+	c.live = append(c.live, q0)
+
+	for i := 1; i <= len(doc); i++ {
+		c.capturing()
+		c.reading(doc[i-1])
+	}
+	c.capturing()
+
+	var total uint64
+	for _, q := range c.live {
+		if a.Accepting(q) {
+			var carry bool
+			total, carry = addOverflow(total, c.counts[q])
+			c.overflow = c.overflow || carry
+		}
+	}
+	return total, !c.overflow
+}
+
+type counter struct {
+	a        Automaton
+	counts   []uint64
+	live     []int
+	olds     []uint64
+	nextLive []int
+	overflow bool
+}
+
+func (c *counter) ensure(q int) {
+	for len(c.counts) <= q {
+		c.counts = append(c.counts, 0)
+	}
+}
+
+func (c *counter) add(q int, n uint64) {
+	sum, carry := addOverflow(c.counts[q], n)
+	c.counts[q] = sum
+	c.overflow = c.overflow || carry
+}
+
+func addOverflow(a, b uint64) (uint64, bool) {
+	s := a + b
+	return s, s < a
+}
+
+// capturing mirrors Capturing(i): N[p] += N′[q] for every capture
+// transition (q, S, p), where N′ is the snapshot before the procedure.
+func (c *counter) capturing() {
+	c.olds = c.olds[:0]
+	for _, q := range c.live {
+		c.olds = append(c.olds, c.counts[q])
+	}
+	n := len(c.live)
+	for k := 0; k < n; k++ {
+		q := c.live[k]
+		for _, t := range c.a.Captures(q) {
+			c.ensure(t.To)
+			if c.counts[t.To] == 0 {
+				c.live = append(c.live, t.To)
+			}
+			c.add(t.To, c.olds[k])
+		}
+	}
+}
+
+// reading mirrors Reading(i): counts move along letter transitions.
+func (c *counter) reading(ch byte) {
+	c.olds = c.olds[:0]
+	for _, q := range c.live {
+		c.olds = append(c.olds, c.counts[q])
+		c.counts[q] = 0
+	}
+	c.nextLive = c.nextLive[:0]
+	for k, q := range c.live {
+		t, ok := c.a.Step(q, ch)
+		if !ok {
+			continue
+		}
+		c.ensure(t)
+		if c.counts[t] == 0 {
+			c.nextLive = append(c.nextLive, t)
+		}
+		c.add(t, c.olds[k])
+	}
+	c.live, c.nextLive = c.nextLive, c.live
+}
+
+// CountBig is Count with arbitrary-precision arithmetic. It shares the
+// same O(|A| × |d|) structure; each arithmetic step costs the size of the
+// count's representation instead of O(1).
+func CountBig(a Automaton, doc []byte) *big.Int {
+	c := &bigCounter{a: a}
+	q0 := a.Initial()
+	c.ensure(q0)
+	c.counts[q0] = big.NewInt(1)
+	c.live = append(c.live, q0)
+
+	for i := 1; i <= len(doc); i++ {
+		c.capturing()
+		c.reading(doc[i-1])
+	}
+	c.capturing()
+
+	total := new(big.Int)
+	for _, q := range c.live {
+		if a.Accepting(q) {
+			total.Add(total, c.counts[q])
+		}
+	}
+	return total
+}
+
+type bigCounter struct {
+	a        Automaton
+	counts   []*big.Int // nil means zero
+	live     []int
+	olds     []*big.Int
+	nextLive []int
+}
+
+func (c *bigCounter) ensure(q int) {
+	for len(c.counts) <= q {
+		c.counts = append(c.counts, nil)
+	}
+}
+
+func (c *bigCounter) isZero(q int) bool {
+	return c.counts[q] == nil || c.counts[q].Sign() == 0
+}
+
+func (c *bigCounter) add(q int, n *big.Int) {
+	if c.counts[q] == nil {
+		c.counts[q] = new(big.Int)
+	}
+	c.counts[q].Add(c.counts[q], n)
+}
+
+func (c *bigCounter) capturing() {
+	c.olds = c.olds[:0]
+	for _, q := range c.live {
+		c.olds = append(c.olds, new(big.Int).Set(c.counts[q]))
+	}
+	n := len(c.live)
+	for k := 0; k < n; k++ {
+		q := c.live[k]
+		for _, t := range c.a.Captures(q) {
+			c.ensure(t.To)
+			if c.isZero(t.To) {
+				c.live = append(c.live, t.To)
+			}
+			c.add(t.To, c.olds[k])
+		}
+	}
+}
+
+func (c *bigCounter) reading(ch byte) {
+	c.olds = c.olds[:0]
+	for _, q := range c.live {
+		c.olds = append(c.olds, c.counts[q])
+		c.counts[q] = nil
+	}
+	c.nextLive = c.nextLive[:0]
+	for k, q := range c.live {
+		t, ok := c.a.Step(q, ch)
+		if !ok {
+			continue
+		}
+		c.ensure(t)
+		if c.isZero(t) {
+			c.nextLive = append(c.nextLive, t)
+		}
+		c.add(t, c.olds[k])
+	}
+	c.live, c.nextLive = c.nextLive, c.live
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math/bits"
+
+	"spanners/internal/model"
+)
+
+// Iterator enumerates ⟦A⟧d from a Result with constant delay (Algorithm 2):
+// a depth-first traversal of the reverse-dual DAG using an explicit stack.
+// Every root-to-⊥ path is one accepting run; since the automaton is
+// deterministic, distinct paths yield distinct mappings, so the enumeration
+// is duplicate-free. Path length is bounded by the number of markers (the
+// positions along a path strictly decrease and each node consumes at least
+// one of the 2ℓ markers), so the work between two consecutive outputs — and
+// before the first and after the last — is O(ℓ): constant in the document.
+//
+// The *model.Mapping returned by Next is a scratch buffer owned by the
+// iterator, valid until the following Next call; Clone it to retain it.
+type Iterator struct {
+	r        *Result
+	finalIdx int
+	stack    []frame
+	// starts/ends record the marker positions applied along the current
+	// DFS path; vars is the bitmap of variables closed on the path. Each
+	// frame saves the previous bitmap for O(1) undo.
+	starts  []int
+	ends    []int
+	vars    uint64
+	scratch *model.Mapping
+	// steps counts stack operations; tests use the per-output delta to
+	// verify the constant-delay bound structurally rather than by timing.
+	steps uint64
+}
+
+// frame is one level of the DFS: the remaining elements of a node list and
+// the node whose adjacency list it is (nil for the top-level final lists).
+type frame struct {
+	cur, tail *element
+	owner     *node
+	prevVars  uint64
+}
+
+// Iterator returns a fresh constant-delay iterator over the result. The
+// Result may be iterated multiple times concurrently; each Iterator is
+// independent but individually not goroutine-safe.
+func (r *Result) Iterator() *Iterator {
+	n := r.reg.Len()
+	return &Iterator{
+		r:       r,
+		starts:  make([]int, n),
+		ends:    make([]int, n),
+		scratch: model.NewMapping(r.reg),
+	}
+}
+
+// Next returns the next output mapping, or ok = false when the enumeration
+// is complete.
+func (it *Iterator) Next() (m *model.Mapping, ok bool) {
+	for {
+		if len(it.stack) == 0 {
+			if it.finalIdx >= len(it.r.finals) {
+				return nil, false
+			}
+			l := it.r.finals[it.finalIdx]
+			it.finalIdx++
+			it.steps++
+			if !l.empty() {
+				it.stack = append(it.stack, frame{cur: l.head, tail: l.tail})
+			}
+			continue
+		}
+		f := &it.stack[len(it.stack)-1]
+		if f.cur == nil {
+			// List exhausted: undo the owner node's markers and pop.
+			it.steps++
+			it.undo(f.owner, f.prevVars)
+			it.stack = it.stack[:len(it.stack)-1]
+			continue
+		}
+		e := f.cur
+		if e == f.tail {
+			f.cur = nil // iteration is bounded by tail, not by next == nil
+		} else {
+			f.cur = e.next
+		}
+		it.steps++
+		if e.n.pos == 0 {
+			// ⊥ reached: the path holds a complete accepting run.
+			return it.emit(), true
+		}
+		prev := it.vars
+		it.apply(e.n)
+		it.stack = append(it.stack, frame{
+			cur: e.n.list.head, tail: e.n.list.tail,
+			owner: e.n, prevVars: prev,
+		})
+	}
+}
+
+// apply records the marker positions of node (S, i) on the current path.
+// The traversal runs backwards through the document, so closes are seen
+// before their opens; validity of runs guarantees each variable is touched
+// at most once per path.
+func (it *Iterator) apply(n *node) {
+	for b := n.set.Opens(); b != 0; b &= b - 1 {
+		it.starts[bits.TrailingZeros64(b)] = n.pos
+	}
+	for b := n.set.Closes(); b != 0; b &= b - 1 {
+		it.ends[bits.TrailingZeros64(b)] = n.pos
+	}
+	it.vars |= n.set.Closes()
+}
+
+func (it *Iterator) undo(n *node, prevVars uint64) {
+	if n == nil {
+		return
+	}
+	it.vars = prevVars
+}
+
+// emit assembles the scratch mapping from the marker positions of the
+// current path in O(ℓ).
+func (it *Iterator) emit() *model.Mapping {
+	it.scratch.Reset()
+	for b := it.vars; b != 0; b &= b - 1 {
+		v := bits.TrailingZeros64(b)
+		it.scratch.Assign(model.Var(v), model.Span{Start: it.starts[v], End: it.ends[v]})
+	}
+	return it.scratch
+}
+
+// Steps returns the cumulative number of elementary traversal operations
+// performed so far; the difference between two outputs bounds the delay
+// structurally.
+func (it *Iterator) Steps() uint64 { return it.steps }
+
+// Enumerate walks all outputs push-style, invoking yield for each mapping.
+// The mapping passed to yield is a reused buffer, valid only during the
+// call; Clone it to retain. Enumeration stops early if yield returns
+// false.
+func (r *Result) Enumerate(yield func(*model.Mapping) bool) {
+	it := r.Iterator()
+	for {
+		m, ok := it.Next()
+		if !ok {
+			return
+		}
+		if !yield(m) {
+			return
+		}
+	}
+}
+
+// Collect materializes all outputs into a MappingSet; intended for tests
+// and small results (it defeats the purpose of constant-delay streaming on
+// large ones).
+func (r *Result) Collect() *model.MappingSet {
+	out := model.NewMappingSet()
+	r.Enumerate(func(m *model.Mapping) bool {
+		out.Add(m.Clone())
+		return true
+	})
+	return out
+}
+
+// CollectSlice materializes all outputs into a slice, cloning each.
+func (r *Result) CollectSlice() []*model.Mapping {
+	var out []*model.Mapping
+	r.Enumerate(func(m *model.Mapping) bool {
+		out = append(out, m.Clone())
+		return true
+	})
+	return out
+}

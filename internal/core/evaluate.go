@@ -1,0 +1,142 @@
+package core
+
+import (
+	"spanners/internal/model"
+)
+
+// Result is the output of the preprocessing phase: the reverse-dual DAG
+// plus the node lists of the accepting states. It supports repeated
+// enumeration (each Iterator/Enumerate call walks the same DAG) and owns
+// the arena backing the DAG.
+type Result struct {
+	reg    *model.Registry
+	finals []list
+	ar     *arena
+	doc    []byte
+}
+
+// Evaluate runs Algorithm 1: the preprocessing phase of the constant-delay
+// evaluation of the deterministic sequential eVA a over doc. It alternates
+// Capturing(i) and Reading(i) over the document positions, maintaining for
+// every live state q the list of reverse-dual DAG nodes that represent the
+// last variable transitions of runs ending in q, and finishes with
+// Capturing(n+1). Time is O(|a| × |doc|); both procedures touch each
+// transition of each live state once per position and manipulate list
+// pointers in O(1).
+func Evaluate(a Automaton, doc []byte) *Result {
+	e := &evaluation{
+		a:  a,
+		ar: &arena{},
+	}
+	e.bottom = e.ar.newNode(model.Set{}, 0, list{})
+
+	q0 := a.Initial()
+	e.ensure(q0)
+	e.lists[q0].add(e.bottom, e.ar)
+	e.live = append(e.live, q0)
+
+	for i := 1; i <= len(doc); i++ {
+		e.capturing(i)
+		e.reading(i, doc[i-1])
+	}
+	e.capturing(len(doc) + 1)
+
+	res := &Result{reg: a.Registry(), ar: e.ar, doc: doc}
+	for _, q := range e.live {
+		if a.Accepting(q) {
+			res.finals = append(res.finals, e.lists[q])
+		}
+	}
+	return res
+}
+
+// evaluation is the mutable state of one Evaluate call.
+type evaluation struct {
+	a      Automaton
+	ar     *arena
+	bottom *node
+	// lists[q] is list_q from Algorithm 1; live holds exactly the states
+	// with non-empty lists (the states reachable by some run over the
+	// prefix processed so far).
+	lists []list
+	live  []int
+	// olds is scratch storage, parallel to live, holding the lazy copies
+	// taken at the start of each procedure; nextLive is the live set under
+	// construction during reading.
+	olds     []list
+	nextLive []int
+}
+
+// ensure grows the per-state tables to cover state id q; states can be
+// minted during evaluation by on-the-fly automata.
+func (e *evaluation) ensure(q int) {
+	for len(e.lists) <= q {
+		e.lists = append(e.lists, list{})
+	}
+}
+
+// capturing simulates the extended variable transitions taken immediately
+// before reading letter i (Capturing(i) in Algorithm 1). It first takes a
+// lazy copy of every live list, then, for each live state q and each
+// capture transition (q, S, p), creates a node (S, i) whose adjacency list
+// is the lazy copy of list_q, and prepends it to list_p. Lists of states
+// whose runs take no variable transition here are left untouched — that is
+// the S = ∅ case of the run shape.
+func (e *evaluation) capturing(i int) {
+	e.olds = e.olds[:0]
+	for _, q := range e.live {
+		e.olds = append(e.olds, e.lists[q]) // lazycopy: value copy of (head, tail)
+	}
+	// Iterate only over the states that were live before this procedure;
+	// newly awakened target states must not fire transitions in the same
+	// round (runs alternate capture and letter transitions).
+	n := len(e.live)
+	for k := 0; k < n; k++ {
+		q := e.live[k]
+		for _, t := range e.a.Captures(q) {
+			nd := e.ar.newNode(t.S, i, e.olds[k])
+			e.ensure(t.To)
+			if e.lists[t.To].empty() {
+				e.live = append(e.live, t.To)
+			}
+			e.lists[t.To].add(nd, e.ar)
+		}
+	}
+}
+
+// reading simulates reading letter c at position i (Reading(i) in
+// Algorithm 1): every live list is moved aside and re-attached to the
+// letter successor of its state, appending when two letter transitions
+// enter the same state. Each old list is appended to exactly one target —
+// the automaton is deterministic — which is what licenses the O(1) splice
+// in list.appendList.
+func (e *evaluation) reading(_ int, c byte) {
+	e.olds = e.olds[:0]
+	for _, q := range e.live {
+		e.olds = append(e.olds, e.lists[q])
+		e.lists[q] = list{}
+	}
+	e.nextLive = e.nextLive[:0]
+	for k, q := range e.live {
+		t, ok := e.a.Step(q, c)
+		if !ok {
+			continue // the runs ending in q die at this letter
+		}
+		e.ensure(t)
+		if e.lists[t].empty() {
+			e.nextLive = append(e.nextLive, t)
+		}
+		e.lists[t].appendList(e.olds[k])
+	}
+	e.live, e.nextLive = e.nextLive, e.live
+}
+
+// Registry returns the variable registry of the evaluated automaton.
+func (r *Result) Registry() *model.Registry { return r.reg }
+
+// Document returns the evaluated document.
+func (r *Result) Document() []byte { return r.doc }
+
+// IsEmpty reports whether ⟦A⟧d = ∅, i.e. no accepting state was live after
+// the final Capturing.
+func (r *Result) IsEmpty() bool { return len(r.finals) == 0 }

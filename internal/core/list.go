@@ -1,0 +1,94 @@
+package core
+
+import "spanners/internal/model"
+
+// node is a vertex of the reverse-dual DAG built by Algorithm 1. Its
+// content is an annotated marker set (S, i) — "the markers S were executed
+// just before reading letter i" — and its adjacency list points to the
+// nodes of the variable transitions that could precede it in a run. The
+// sink ⊥ (a node with pos 0) plays the role of the initial product state.
+type node struct {
+	set  model.Set
+	pos  int
+	list list
+}
+
+// element is a cell of a singly linked node list. Elements are created and
+// never modified, with one exception: an element whose next pointer is nil
+// may have it set, once, when the list it terminates is appended to
+// another. This discipline (Section 3.2.2, "Data structures") is what
+// makes lazy copies sound.
+type element struct {
+	n    *node
+	next *element
+}
+
+// list is a (start, end) pair of element pointers. Iteration runs from
+// head and stops at tail — not at next == nil — so a lazycopy of a list
+// remains correct even after the original's tail element has its next
+// pointer spliced by a later append.
+//
+// The paper's list methods map as follows: add prepends, appendList splices
+// in O(1), and lazycopy is plain struct assignment (the value is the
+// (start, end) pair).
+type list struct {
+	head, tail *element
+}
+
+func (l list) empty() bool { return l.head == nil }
+
+// add inserts n at the beginning of the list.
+func (l *list) add(n *node, ar *arena) {
+	e := ar.newElement(n, l.head)
+	if l.head == nil {
+		l.tail = e
+	}
+	l.head = e
+}
+
+// appendList splices o onto the end of l. The splice writes o's head into
+// the next pointer of l's tail — the single permitted mutation of an
+// element. Each list value is appended at most once, which the evaluator
+// guarantees because the automaton is deterministic: every old state list
+// is consumed by at most one letter transition per position.
+func (l *list) appendList(o list) {
+	if o.head == nil {
+		return
+	}
+	if l.head == nil {
+		*l = o
+		return
+	}
+	l.tail.next = o.head
+	l.tail = o.tail
+}
+
+// arena bump-allocates nodes and elements in fixed-size chunks so that the
+// preprocessing loop performs O(1) amortized allocations per created node,
+// and the whole DAG is released as a unit when the Result is dropped.
+type arena struct {
+	nodes  []node
+	elems  []element
+	nNodes int
+	nElems int
+}
+
+const arenaChunk = 4096
+
+func (a *arena) newNode(set model.Set, pos int, adj list) *node {
+	if len(a.nodes) == cap(a.nodes) {
+		a.nodes = make([]node, 0, arenaChunk)
+	}
+	a.nodes = append(a.nodes, node{set: set, pos: pos, list: adj})
+	a.nNodes++
+	return &a.nodes[len(a.nodes)-1]
+}
+
+func (a *arena) newElement(n *node, next *element) *element {
+	if len(a.elems) == cap(a.elems) {
+		a.elems = make([]element, 0, arenaChunk)
+	}
+	a.elems = append(a.elems, element{n: n, next: next})
+	a.nElems++
+	return &a.elems[len(a.elems)-1]
+}

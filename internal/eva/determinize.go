@@ -1,0 +1,138 @@
+package eva
+
+import (
+	"sort"
+	"strconv"
+
+	"spanners/internal/model"
+)
+
+// Determinize returns an equivalent deterministic eVA via the subset
+// construction of Proposition 3.2: the classical NFA determinization with
+// the alphabet Σ ∪ (2^MarkersV ∖ {∅}), treating each exact marker set as
+// one symbol. Capture transitions of the members are grouped by their exact
+// set S; letter transitions are re-partitioned into byte classes whose
+// member bytes lead to the same subset.
+//
+// Only subsets reachable from {q0} are materialized, so the 2^n worst case
+// (which Propositions 4.1 and 4.3 account for) is paid only when the
+// automaton actually requires it. Determinization preserves sequentiality
+// and functionality, because it preserves the set of accepting label
+// sequences and validity is a property of the label sequence alone.
+func (a *EVA) Determinize() *EVA {
+	if a.initial < 0 {
+		return New(a.reg)
+	}
+	d := &determinizer{src: a, out: New(a.reg), index: make(map[string]int)}
+	d.intern([]int{a.initial})
+	for id := 0; id < len(d.members); id++ {
+		d.expand(id)
+	}
+	d.out.SetInitial(0)
+	return d.out
+}
+
+type determinizer struct {
+	src     *EVA
+	out     *EVA
+	index   map[string]int
+	members [][]int
+}
+
+// intern returns the det-state id for a normalized subset, minting it if
+// new.
+func (d *determinizer) intern(set []int) int {
+	key := subsetKey(set)
+	if id, ok := d.index[key]; ok {
+		return id
+	}
+	id := d.out.AddState()
+	d.index[key] = id
+	d.members = append(d.members, set)
+	for _, q := range set {
+		if d.src.final[q] {
+			d.out.SetFinal(id, true)
+			break
+		}
+	}
+	return id
+}
+
+// expand computes the outgoing transitions of det state id.
+func (d *determinizer) expand(id int) {
+	set := d.members[id]
+
+	// Capture transitions: group member edges by exact marker set.
+	capTargets := make(map[model.Set][]int)
+	for _, q := range set {
+		for _, e := range d.src.captures[q] {
+			capTargets[e.S] = append(capTargets[e.S], e.To)
+		}
+	}
+	capSets := make([]model.Set, 0, len(capTargets))
+	for s := range capTargets {
+		capSets = append(capSets, s)
+	}
+	sort.Slice(capSets, func(i, j int) bool { return capSets[i].Less(capSets[j]) })
+	for _, s := range capSets {
+		d.out.AddCapture(id, s, d.intern(normalize(capTargets[s])))
+	}
+
+	// Letter transitions: compute the target subset per byte, then group
+	// bytes with identical target subsets into one class edge.
+	type group struct {
+		class model.ByteSet
+		to    []int
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for c := 0; c < 256; c++ {
+		var to []int
+		for _, q := range set {
+			for _, e := range d.src.letters[q] {
+				if e.Class.Has(byte(c)) {
+					to = append(to, e.To)
+				}
+			}
+		}
+		if len(to) == 0 {
+			continue
+		}
+		to = normalize(to)
+		k := subsetKey(to)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{to: to}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.class.Add(byte(c))
+	}
+	for _, k := range order {
+		g := groups[k]
+		d.out.AddLetter(id, g.class, d.intern(g.to))
+	}
+}
+
+// normalize sorts and deduplicates a subset in place.
+func normalize(set []int) []int {
+	sort.Ints(set)
+	out := set[:0]
+	prev := -1
+	for _, q := range set {
+		if q != prev {
+			out = append(out, q)
+			prev = q
+		}
+	}
+	return out
+}
+
+func subsetKey(set []int) string {
+	buf := make([]byte, 0, len(set)*3)
+	for _, q := range set {
+		buf = strconv.AppendInt(buf, int64(q), 32)
+		buf = append(buf, ',')
+	}
+	return string(buf)
+}

@@ -1,0 +1,130 @@
+package eva
+
+import (
+	"math/bits"
+
+	"spanners/internal/model"
+)
+
+// Eval computes ⟦A⟧d exhaustively by exploring every run of A over d in the
+// alternating shape of Equation (2) in the paper: an optional extended
+// variable transition before each letter and one after the last letter.
+// Only valid runs are explored and mappings are deduplicated, so the result
+// is the exact mapping-based semantics of Section 3.1. Exponential in the
+// worst case; this is the tests' ground truth, not the production path.
+func (a *EVA) Eval(d []byte) *model.MappingSet {
+	out := model.NewMappingSet()
+	if a.initial < 0 {
+		return out
+	}
+	e := &evaluator{a: a, d: d, out: out,
+		starts: make([]int, a.reg.Len()),
+		spans:  make([]model.Span, a.reg.Len()),
+	}
+	e.capturePhase(a.initial, 1)
+	return out
+}
+
+// CountAcceptingRuns returns the number of valid accepting runs. For a
+// deterministic eVA this equals ⟦A⟧d's cardinality — each run defines a
+// unique mapping — which is exactly the property Algorithm 1 exploits to
+// avoid duplicate outputs.
+func (a *EVA) CountAcceptingRuns(d []byte) int {
+	if a.initial < 0 {
+		return 0
+	}
+	e := &evaluator{a: a, d: d, out: model.NewMappingSet(),
+		starts: make([]int, a.reg.Len()),
+		spans:  make([]model.Span, a.reg.Len()),
+		counting: true,
+	}
+	e.capturePhase(a.initial, 1)
+	return e.runs
+}
+
+type evaluator struct {
+	a        *EVA
+	d        []byte
+	out      *model.MappingSet
+	starts   []int
+	spans    []model.Span
+	opened   uint64
+	closed   uint64
+	counting bool
+	runs     int
+}
+
+// capturePhase is the state "about to take the extended variable transition
+// at position pos" (S_pos in the run shape). Taking no transition is always
+// allowed and corresponds to S = ∅.
+func (e *evaluator) capturePhase(q, pos int) {
+	e.readPhase(q, pos)
+	for _, t := range e.a.captures[q] {
+		if !e.apply(t.S, pos) {
+			continue
+		}
+		e.readPhase(t.To, pos)
+		e.undo(t.S)
+	}
+}
+
+// readPhase is the state "about to read letter pos", or, past the end of
+// the document, the accepting configuration check.
+func (e *evaluator) readPhase(q, pos int) {
+	n := len(e.d)
+	if pos == n+1 {
+		if e.a.final[q] && e.opened == e.closed {
+			if e.counting {
+				e.runs++
+				return
+			}
+			m := model.NewMapping(e.a.reg)
+			for b := e.closed; b != 0; b &= b - 1 {
+				v := model.Var(bits.TrailingZeros64(b))
+				m.Assign(v, e.spans[v])
+			}
+			e.out.Add(m)
+		}
+		return
+	}
+	c := e.d[pos-1]
+	for _, t := range e.a.letters[q] {
+		if t.Class.Has(c) {
+			e.capturePhase(t.To, pos+1)
+		}
+	}
+}
+
+// apply attempts to execute marker set S at position pos, updating the
+// variable bookkeeping; it reports false (and changes nothing) if the
+// resulting run prefix would be invalid.
+func (e *evaluator) apply(s model.Set, pos int) bool {
+	opens, closes := s.Opens(), s.Closes()
+	if opens&e.opened != 0 {
+		return false // reopening a variable
+	}
+	if closes&e.closed != 0 {
+		return false // closing twice
+	}
+	if closes&^(e.opened|opens) != 0 {
+		return false // closing a variable that is not open (nor opened here)
+	}
+	e.opened |= opens
+	e.closed |= closes
+	for b := opens; b != 0; b &= b - 1 {
+		e.starts[bits.TrailingZeros64(b)] = pos
+	}
+	for b := closes; b != 0; b &= b - 1 {
+		v := bits.TrailingZeros64(b)
+		e.spans[v] = model.Span{Start: e.starts[v], End: pos}
+	}
+	return true
+}
+
+func (e *evaluator) undo(s model.Set) {
+	e.opened &^= s.Opens()
+	e.closed &^= s.Closes()
+	for b := s.Closes(); b != 0; b &= b - 1 {
+		e.spans[bits.TrailingZeros64(b)] = model.Span{}
+	}
+}

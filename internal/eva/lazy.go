@@ -1,0 +1,129 @@
+package eva
+
+import (
+	"spanners/internal/model"
+)
+
+// Lazy is an on-the-fly determinizer: it exposes the deterministic subset
+// automaton of a (sequential) eVA without materializing it, minting subset
+// states only as the evaluation of a concrete document demands them. This
+// realizes the closing remark of Section 4 of the paper — "all of these
+// translations can be fed to Algorithm 1 on-the-fly, thus rarely needing to
+// materialize the entire deterministic seVA" — and bounds the work by the
+// subsets actually reachable on the documents seen, rather than the 2^n
+// worst case.
+//
+// Lazy implements the same automaton interface as a deterministic *EVA
+// (Initial, Step, Captures, Accepting, Registry). It memoizes transitions,
+// so repeated evaluations share work. It is not safe for concurrent use;
+// wrap it per goroutine or materialize with Determinize for sharing.
+type Lazy struct {
+	src   *EVA
+	index map[string]int
+	sts   []*lazyState
+}
+
+type lazyState struct {
+	members   []int
+	accepting bool
+	captures  []model.Capture // memoized on first request
+	capsDone  bool
+	// letter[c] is the det target for byte c: ≥ 0 a state id, −1 no
+	// transition, −2 not yet computed.
+	letter [256]int32
+}
+
+// NewLazy returns a lazy determinizer over src, which must be sequential
+// for downstream enumeration to be duplicate-free (as with Determinize).
+func NewLazy(src *EVA) *Lazy {
+	l := &Lazy{src: src, index: make(map[string]int)}
+	if src.initial >= 0 {
+		l.intern([]int{src.initial})
+	}
+	return l
+}
+
+func (l *Lazy) intern(set []int) int {
+	key := subsetKey(set)
+	if id, ok := l.index[key]; ok {
+		return id
+	}
+	st := &lazyState{members: set}
+	for i := range st.letter {
+		st.letter[i] = -2
+	}
+	for _, q := range set {
+		if l.src.final[q] {
+			st.accepting = true
+			break
+		}
+	}
+	l.sts = append(l.sts, st)
+	id := len(l.sts) - 1
+	l.index[key] = id
+	return id
+}
+
+// Initial returns the subset state {q0}.
+func (l *Lazy) Initial() int { return 0 }
+
+// Registry returns the variable registry.
+func (l *Lazy) Registry() *model.Registry { return l.src.reg }
+
+// Accepting reports whether the subset contains a final state of the
+// source automaton.
+func (l *Lazy) Accepting(q int) bool { return l.sts[q].accepting }
+
+// Step returns δ(q, c), computing and memoizing it on first use.
+func (l *Lazy) Step(q int, c byte) (int, bool) {
+	st := l.sts[q]
+	if t := st.letter[c]; t != -2 {
+		return int(t), t >= 0
+	}
+	var to []int
+	for _, m := range st.members {
+		for _, e := range l.src.letters[m] {
+			if e.Class.Has(c) {
+				to = append(to, e.To)
+			}
+		}
+	}
+	if len(to) == 0 {
+		st.letter[c] = -1
+		return 0, false
+	}
+	id := l.intern(normalize(to))
+	// Re-fetch st: intern may have grown l.sts, but st is a pointer, so
+	// only the slice header changed; the pointed-to state is stable.
+	st.letter[c] = int32(id)
+	return id, true
+}
+
+// Captures returns the extended variable transitions of subset state q,
+// grouped by exact marker set, computing and memoizing them on first use.
+func (l *Lazy) Captures(q int) []model.Capture {
+	st := l.sts[q]
+	if st.capsDone {
+		return st.captures
+	}
+	capTargets := make(map[model.Set][]int)
+	var order []model.Set
+	for _, m := range st.members {
+		for _, e := range l.src.captures[m] {
+			if _, ok := capTargets[e.S]; !ok {
+				order = append(order, e.S)
+			}
+			capTargets[e.S] = append(capTargets[e.S], e.To)
+		}
+	}
+	for _, s := range order {
+		st.captures = append(st.captures, model.Capture{S: s, To: l.intern(normalize(capTargets[s]))})
+	}
+	st.capsDone = true
+	return st.captures
+}
+
+// StatesDiscovered returns how many subset states have been minted so far —
+// the measure that makes the lazy-vs-strict trade-off visible in the
+// experiments.
+func (l *Lazy) StatesDiscovered() int { return len(l.sts) }

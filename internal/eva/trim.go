@@ -1,0 +1,91 @@
+package eva
+
+// Trim returns an equivalent automaton with only the states that are
+// reachable from the initial state and co-reachable to a final state.
+// Reachability here is graph reachability, which over-approximates
+// reachability by (alternating) runs; the extra states are harmless and
+// never fire during evaluation.
+func (a *EVA) Trim() *EVA {
+	n := a.NumStates()
+	if a.initial < 0 || n == 0 {
+		return New(a.reg)
+	}
+
+	reach := make([]bool, n)
+	stack := []int{a.initial}
+	reach[a.initial] = true
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range a.letters[q] {
+			if !reach[e.To] {
+				reach[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+		for _, e := range a.captures[q] {
+			if !reach[e.To] {
+				reach[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+
+	rev := make([][]int, n)
+	for q := 0; q < n; q++ {
+		for _, e := range a.letters[q] {
+			rev[e.To] = append(rev[e.To], q)
+		}
+		for _, e := range a.captures[q] {
+			rev[e.To] = append(rev[e.To], q)
+		}
+	}
+	coreach := make([]bool, n)
+	for q := 0; q < n; q++ {
+		if a.final[q] && reach[q] {
+			coreach[q] = true
+			stack = append(stack, q)
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[q] {
+			if reach[p] && !coreach[p] {
+				coreach[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+
+	keep := make([]int, n)
+	out := New(a.reg)
+	for q := 0; q < n; q++ {
+		if reach[q] && coreach[q] {
+			keep[q] = out.AddState()
+		} else {
+			keep[q] = -1
+		}
+	}
+	if keep[a.initial] == -1 {
+		keep[a.initial] = out.AddState()
+	}
+	out.SetInitial(keep[a.initial])
+	for q := 0; q < n; q++ {
+		if keep[q] == -1 {
+			continue
+		}
+		out.SetFinal(keep[q], a.final[q])
+		for _, e := range a.letters[q] {
+			if keep[e.To] != -1 {
+				out.AddLetter(keep[q], e.Class, keep[e.To])
+			}
+		}
+		for _, e := range a.captures[q] {
+			if keep[e.To] != -1 {
+				out.AddCapture(keep[q], e.S, keep[e.To])
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package gen
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+)
+
+// Contacts generates a synthetic contacts document in the style of
+// Figure 1: k entries "Name <contact>" separated by ", ", where each
+// contact is an email address or a phone number chosen pseudo-randomly
+// from the seed. It is the scalable version of the paper's running
+// example, used for the linear-preprocessing sweeps.
+func Contacts(k int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var b bytes.Buffer
+	for i := 0; i < k; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		writeName(&b, rng)
+		b.WriteString(" <")
+		if rng.Intn(2) == 0 {
+			writeEmail(&b, rng)
+		} else {
+			writePhone(&b, rng)
+		}
+		b.WriteString(">")
+	}
+	return b.Bytes()
+}
+
+func writeName(b *bytes.Buffer, rng *rand.Rand) {
+	b.WriteByte(byte('A' + rng.Intn(26)))
+	for n := 2 + rng.Intn(6); n > 0; n-- {
+		b.WriteByte(byte('a' + rng.Intn(26)))
+	}
+}
+
+func writeEmail(b *bytes.Buffer, rng *rand.Rand) {
+	for n := 1 + rng.Intn(8); n > 0; n-- {
+		b.WriteByte(byte('a' + rng.Intn(26)))
+	}
+	b.WriteByte('@')
+	for n := 1 + rng.Intn(6); n > 0; n-- {
+		b.WriteByte(byte('a' + rng.Intn(26)))
+	}
+	b.WriteByte('.')
+	for n := 2 + rng.Intn(2); n > 0; n-- {
+		b.WriteByte(byte('a' + rng.Intn(26)))
+	}
+}
+
+func writePhone(b *bytes.Buffer, rng *rand.Rand) {
+	for n := 2 + rng.Intn(3); n > 0; n-- {
+		b.WriteByte(byte('0' + rng.Intn(10)))
+	}
+	b.WriteByte('-')
+	for n := 2 + rng.Intn(4); n > 0; n-- {
+		b.WriteByte(byte('0' + rng.Intn(10)))
+	}
+}
+
+// Repeat returns the document s^n.
+func Repeat(s string, n int) []byte {
+	return bytes.Repeat([]byte(s), n)
+}
+
+// CensusDoc returns the document d_{B,n} = (#cc)^n of the Theorem 5.2
+// reduction.
+func CensusDoc(n int) []byte {
+	return Repeat("#cc", n)
+}
+
+// RandomDoc returns a pseudo-random document of length n over the given
+// alphabet.
+func RandomDoc(n int, alphabet string, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return out
+}
+
+// LogDoc generates n lines resembling a web-server access log; the CLI
+// examples and the README quickstart extract fields from it.
+func LogDoc(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	methods := []string{"GET", "POST", "PUT", "DELETE"}
+	paths := []string{"/", "/index.html", "/api/v1/users", "/api/v1/orders", "/static/app.js", "/health"}
+	var b bytes.Buffer
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%d.%d.%d.%d - - [2018-03-%02d] \"%s %s\" %d %d\n",
+			rng.Intn(256), rng.Intn(256), rng.Intn(256), rng.Intn(256),
+			1+rng.Intn(28),
+			methods[rng.Intn(len(methods))],
+			paths[rng.Intn(len(paths))],
+			[]int{200, 200, 200, 301, 404, 500}[rng.Intn(6)],
+			rng.Intn(100000))
+	}
+	return b.Bytes()
+}

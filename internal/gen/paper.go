@@ -1,0 +1,171 @@
+// Package gen provides the paper's worked examples as executable fixtures
+// — the document and regex formula of Figure 1, the automata of Figures 2,
+// 3 and 7 — together with document and instance generators used by the
+// test suite and the benchmark harness.
+package gen
+
+import (
+	"fmt"
+	"strings"
+
+	"spanners/internal/eva"
+	"spanners/internal/model"
+	"spanners/internal/va"
+)
+
+// Figure1Doc returns the 28-character document of Figure 1:
+// positions 1–28 spell "John <j@g.be>, Jane <555-12>", so that
+// d(1,5) = "John", d(7,13) = "j@g.be", d(16,20) = "Jane",
+// d(22,28) = "555-12".
+func Figure1Doc() []byte {
+	return []byte("John <j@g.be>, Jane <555-12>")
+}
+
+// Figure1Pattern returns a concrete rendering of the regex formula γ of
+// Equation (1):
+//
+//	Σ* · name{γn} · ␣ · <(email{γe} ∨ phone{γp})> · Σ*
+//
+// with γn, γe, γp instantiated as simple name/email/phone recognizers
+// (the paper leaves them open). Evaluated on Figure1Doc it yields exactly
+// the two mappings µ1 and µ2 of Figure 1.
+func Figure1Pattern() string {
+	const (
+		name  = `[A-Z][a-z]+`
+		email = `[a-z0-9]+@[a-z0-9]+(\.[a-z0-9]+)+`
+		phone = `[0-9]+-[0-9]+`
+	)
+	return `.*!name{` + name + `} <(!email{` + email + `}|!phone{` + phone + `})>.*`
+}
+
+// Figure2VA returns the functional VA of Figure 2: it opens x and y in
+// either order before reading the document (a+), closes both at the end,
+// and therefore has two distinct accepting runs that define the same
+// mapping — the duplicate-run phenomenon that motivates extended VA.
+func Figure2VA() *va.VA {
+	reg := model.NewRegistryOf("x", "y")
+	x, _ := reg.Lookup("x")
+	y, _ := reg.Lookup("y")
+	a := va.New(reg)
+	q0 := a.AddState()
+	q1 := a.AddState()
+	q2 := a.AddState()
+	q3 := a.AddState()
+	q4 := a.AddState()
+	q5 := a.AddState()
+	a.SetInitial(q0)
+	a.SetFinal(q5, true)
+	a.AddMarker(q0, model.Open(x), q1)
+	a.AddMarker(q0, model.Open(y), q2)
+	a.AddMarker(q1, model.Open(y), q3)
+	a.AddMarker(q2, model.Open(x), q3)
+	a.AddByte(q3, 'a', q3)
+	a.AddMarker(q3, model.CloseOf(x), q4)
+	a.AddMarker(q4, model.CloseOf(y), q5)
+	return a
+}
+
+// Figure3EVA returns the deterministic functional extended VA of Figure 3,
+// with states indexed exactly as q0…q9 in the figure. Over the document
+// "ab" it produces the three mappings of Section 3.2.2's worked example:
+//
+//	µ1: x ↦ [1,3⟩, y ↦ [2,3⟩
+//	µ2: x ↦ [2,3⟩, y ↦ [1,3⟩
+//	µ3: x ↦ [1,3⟩, y ↦ [1,3⟩
+func Figure3EVA() *eva.EVA {
+	reg := model.NewRegistryOf("x", "y")
+	x, _ := reg.Lookup("x")
+	y, _ := reg.Lookup("y")
+	openX := model.SetOf(model.Open(x))
+	openY := model.SetOf(model.Open(y))
+	openXY := model.SetOf(model.Open(x), model.Open(y))
+	closeXY := model.SetOf(model.CloseOf(x), model.CloseOf(y))
+
+	a := eva.New(reg)
+	q := make([]int, 10)
+	for i := range q {
+		q[i] = a.AddState()
+	}
+	a.SetInitial(q[0])
+	a.SetFinal(q[9], true)
+
+	// q0 opens the variables in the three possible ways. (It has no letter
+	// loop: per the Figure 5 trace, after Reading(1) only q4, q5 and q3
+	// are live, so the "a, b" self-loop of the figure belongs to q3.)
+	a.AddCapture(q[0], openX, q[1])
+	a.AddCapture(q[0], openY, q[2])
+	a.AddCapture(q[0], openXY, q[3])
+
+	// Branch through q1/q4/q6: x opened first, y opened one letter later.
+	a.AddByte(q[1], 'a', q[4])
+	a.AddCapture(q[4], openY, q[6])
+	a.AddByte(q[6], 'b', q[8])
+
+	// Branch through q2/q5/q7: y opened first, x opened one letter later.
+	a.AddByte(q[2], 'a', q[5])
+	a.AddCapture(q[5], openX, q[7])
+	a.AddByte(q[7], 'b', q[8])
+
+	// Branch through q3: both opened together; q3 loops over the rest.
+	a.AddByte(q[3], 'a', q[3])
+	a.AddByte(q[3], 'b', q[3])
+	a.AddCapture(q[3], closeXY, q[9])
+
+	// Both letter branches close x and y together at the very end.
+	a.AddCapture(q[8], closeXY, q[9])
+	return a
+}
+
+// Figure7VA returns, for a given ℓ > 0, the sequential VA of Figure 7
+// (= Figure 8): 3ℓ+2 states, 4ℓ+1 transitions and 2ℓ variables x1,y1,…,
+// xℓ,yℓ, in which every accepting run opens and closes exactly one of
+// {xi, yi} for each i and then reads the single letter a. Proposition 4.2:
+// every equivalent eVA needs at least 2^ℓ extended transitions.
+func Figure7VA(l int) *va.VA {
+	if l < 1 || 2*l > model.MaxVars {
+		panic(fmt.Sprintf("gen: Figure7VA needs 1 ≤ ℓ ≤ %d", model.MaxVars/2))
+	}
+	reg := model.NewRegistry()
+	a := va.New(reg)
+	cur := a.AddState()
+	a.SetInitial(cur)
+	for i := 1; i <= l; i++ {
+		xi := reg.MustAdd(fmt.Sprintf("x%d", i))
+		yi := reg.MustAdd(fmt.Sprintf("y%d", i))
+		viaX := a.AddState()
+		viaY := a.AddState()
+		next := a.AddState()
+		a.AddMarker(cur, model.Open(xi), viaX)
+		a.AddMarker(viaX, model.CloseOf(xi), next)
+		a.AddMarker(cur, model.Open(yi), viaY)
+		a.AddMarker(viaY, model.CloseOf(yi), next)
+		cur = next
+	}
+	final := a.AddState()
+	a.AddByte(cur, 'a', final)
+	a.SetFinal(final, true)
+	return a
+}
+
+// NestedPattern returns the introduction's nested-variable formula with
+// depth ℓ over alphabet Σ = any byte:
+//
+//	Σ* · x1{Σ* · x2{ … xℓ{Σ*} … } · Σ*} · Σ*
+//
+// which produces Ω(|d|^ℓ) output mappings for ℓ nested variables — the
+// workload on which constant-delay enumeration matters most.
+func NestedPattern(l int) string {
+	var b strings.Builder
+	b.WriteString(".*")
+	for i := 1; i <= l; i++ {
+		fmt.Fprintf(&b, "!x%d{.*", i)
+	}
+	for i := 1; i <= l; i++ {
+		if i > 1 {
+			b.WriteString(".*")
+		}
+		b.WriteString("}")
+	}
+	b.WriteString(".*")
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spanners/internal/model"
+	"spanners/internal/rgx"
+	"spanners/internal/va"
+)
+
+// RandomRGX returns a pseudo-random regex formula of bounded depth over the
+// given alphabet and variable pool. Variables may repeat and captures may
+// sit under stars, so the resulting formulas exercise the full (including
+// non-sequential) compilation pipeline; the Table 1 interpreter remains the
+// ground truth for all of them.
+func RandomRGX(rng *rand.Rand, depth int, vars []string, alphabet string) rgx.Node {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		if rng.Intn(6) == 0 {
+			return rgx.Empty{}
+		}
+		return rgx.Class{Set: model.Byte(alphabet[rng.Intn(len(alphabet))])}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return rgx.Concat{Subs: []rgx.Node{
+			RandomRGX(rng, depth-1, vars, alphabet),
+			RandomRGX(rng, depth-1, vars, alphabet),
+		}}
+	case 1:
+		return rgx.Alt{Subs: []rgx.Node{
+			RandomRGX(rng, depth-1, vars, alphabet),
+			RandomRGX(rng, depth-1, vars, alphabet),
+		}}
+	case 2:
+		return rgx.Star{Sub: RandomRGX(rng, depth-1, vars, alphabet)}
+	case 3, 4:
+		if len(vars) > 0 {
+			return rgx.Capture{
+				Var: vars[rng.Intn(len(vars))],
+				Sub: RandomRGX(rng, depth-1, vars, alphabet),
+			}
+		}
+		fallthrough
+	default:
+		return rgx.Concat{Subs: []rgx.Node{
+			RandomRGX(rng, depth-1, vars, alphabet),
+			RandomRGX(rng, depth-1, vars, alphabet),
+		}}
+	}
+}
+
+// RandomFunctionalRGX returns a formula in which every variable of vars is
+// captured exactly once on every successful match, so its compiled VA is
+// functional by construction. Stars are restricted to capture-free
+// subformulas, alternation branches carry the same variable set, and
+// concatenation splits the variables.
+func RandomFunctionalRGX(rng *rand.Rand, depth int, vars []string, alphabet string) rgx.Node {
+	if len(vars) == 0 {
+		return randomPlain(rng, depth, alphabet)
+	}
+	if len(vars) == 1 && (depth <= 0 || rng.Intn(3) == 0) {
+		return rgx.Capture{Var: vars[0], Sub: randomPlain(rng, depth-1, alphabet)}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		// Nest: capture the first variable around the rest.
+		return rgx.Capture{Var: vars[0], Sub: RandomFunctionalRGX(rng, depth-1, vars[1:], alphabet)}
+	case 1:
+		// Same variables on both union branches.
+		return rgx.Alt{Subs: []rgx.Node{
+			RandomFunctionalRGX(rng, depth-1, vars, alphabet),
+			RandomFunctionalRGX(rng, depth-1, vars, alphabet),
+		}}
+	default:
+		// Split the variables across a concatenation.
+		k := 1 + rng.Intn(len(vars))
+		if k == len(vars) {
+			k = len(vars) - 1
+		}
+		if k == 0 {
+			k = 1
+		}
+		left := RandomFunctionalRGX(rng, depth-1, vars[:k], alphabet)
+		right := RandomFunctionalRGX(rng, depth-1, vars[k:], alphabet)
+		return rgx.Concat{Subs: []rgx.Node{left, right}}
+	}
+}
+
+// randomPlain is a capture-free random regular expression.
+func randomPlain(rng *rand.Rand, depth int, alphabet string) rgx.Node {
+	return RandomRGX(rng, depth, nil, alphabet)
+}
+
+// RandomVA returns an unconstrained pseudo-random VA: nStates states,
+// random letter and marker transitions, and at least one final state. It
+// is generally neither sequential nor functional — the input class of
+// Proposition 4.1.
+func RandomVA(rng *rand.Rand, nStates, nVars int, alphabet string) *va.VA {
+	reg := model.NewRegistry()
+	vars := make([]model.Var, nVars)
+	for i := range vars {
+		vars[i] = reg.MustAdd(fmt.Sprintf("v%d", i))
+	}
+	a := va.New(reg)
+	for i := 0; i < nStates; i++ {
+		a.AddState()
+	}
+	a.SetInitial(0)
+	a.SetFinal(rng.Intn(nStates), true)
+	if rng.Intn(2) == 0 {
+		a.SetFinal(rng.Intn(nStates), true)
+	}
+	nLetters := nStates + rng.Intn(2*nStates)
+	for i := 0; i < nLetters; i++ {
+		a.AddByte(rng.Intn(nStates), alphabet[rng.Intn(len(alphabet))], rng.Intn(nStates))
+	}
+	if nVars > 0 {
+		nMarkers := nVars + rng.Intn(2*nVars+1)
+		for i := 0; i < nMarkers; i++ {
+			v := vars[rng.Intn(nVars)]
+			m := model.Open(v)
+			if rng.Intn(2) == 0 {
+				m = model.CloseOf(v)
+			}
+			a.AddMarker(rng.Intn(nStates), m, rng.Intn(nStates))
+		}
+	}
+	return a
+}
+
+// VarNames returns the standard variable pool x0, x1, … of size n.
+func VarNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("x%d", i)
+	}
+	return out
+}

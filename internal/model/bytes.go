@@ -1,0 +1,134 @@
+package model
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// ByteSet is a set of byte values, used as the label of letter transitions.
+// The paper's automata carry single letters a ∈ Σ; labelling transitions
+// with byte classes is a standard, semantics-preserving compaction (a class
+// edge stands for one edge per member byte) that keeps automata built from
+// wildcards like "." small. ByteSet is comparable and can key maps.
+type ByteSet [4]uint64
+
+// Byte returns the singleton class {c}.
+func Byte(c byte) ByteSet {
+	var s ByteSet
+	s.Add(c)
+	return s
+}
+
+// AnyByte returns the class containing every byte (the paper's Σ when
+// documents are byte strings).
+func AnyByte() ByteSet {
+	return ByteSet{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+}
+
+// Add inserts c.
+func (s *ByteSet) Add(c byte) { s[c>>6] |= 1 << (c & 63) }
+
+// AddRange inserts every byte in [lo, hi].
+func (s *ByteSet) AddRange(lo, hi byte) {
+	for c := int(lo); c <= int(hi); c++ {
+		s.Add(byte(c))
+	}
+}
+
+// AddString inserts every byte of str.
+func (s *ByteSet) AddString(str string) {
+	for i := 0; i < len(str); i++ {
+		s.Add(str[i])
+	}
+}
+
+// Has reports whether c ∈ s.
+func (s ByteSet) Has(c byte) bool { return s[c>>6]&(1<<(c&63)) != 0 }
+
+// IsEmpty reports whether the class is empty.
+func (s ByteSet) IsEmpty() bool { return s == ByteSet{} }
+
+// Len returns the number of bytes in the class.
+func (s ByteSet) Len() int {
+	return bits.OnesCount64(s[0]) + bits.OnesCount64(s[1]) +
+		bits.OnesCount64(s[2]) + bits.OnesCount64(s[3])
+}
+
+// Union returns s ∪ t.
+func (s ByteSet) Union(t ByteSet) ByteSet {
+	return ByteSet{s[0] | t[0], s[1] | t[1], s[2] | t[2], s[3] | t[3]}
+}
+
+// Inter returns s ∩ t.
+func (s ByteSet) Inter(t ByteSet) ByteSet {
+	return ByteSet{s[0] & t[0], s[1] & t[1], s[2] & t[2], s[3] & t[3]}
+}
+
+// Minus returns s ∖ t.
+func (s ByteSet) Minus(t ByteSet) ByteSet {
+	return ByteSet{s[0] &^ t[0], s[1] &^ t[1], s[2] &^ t[2], s[3] &^ t[3]}
+}
+
+// Negate returns the complement of s.
+func (s ByteSet) Negate() ByteSet {
+	return ByteSet{^s[0], ^s[1], ^s[2], ^s[3]}
+}
+
+// Bytes returns the members in increasing order.
+func (s ByteSet) Bytes() []byte {
+	out := make([]byte, 0, s.Len())
+	for w := 0; w < 4; w++ {
+		for b := s[w]; b != 0; b &= b - 1 {
+			out = append(out, byte(w<<6+bits.TrailingZeros64(b)))
+		}
+	}
+	return out
+}
+
+// String renders the class compactly, e.g. "a", "[a-c0-9]", or "." for the
+// full byte alphabet.
+func (s ByteSet) String() string {
+	if s == AnyByte() {
+		return "."
+	}
+	members := s.Bytes()
+	if len(members) == 1 {
+		return printableByte(members[0])
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	for i := 0; i < len(members); {
+		j := i
+		for j+1 < len(members) && members[j+1] == members[j]+1 {
+			j++
+		}
+		if j-i >= 2 {
+			b.WriteString(printableByte(members[i]))
+			b.WriteByte('-')
+			b.WriteString(printableByte(members[j]))
+		} else {
+			for k := i; k <= j; k++ {
+				b.WriteString(printableByte(members[k]))
+			}
+		}
+		i = j + 1
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func printableByte(c byte) string {
+	if c >= 0x21 && c <= 0x7e && c != '-' && c != '[' && c != ']' && c != '\\' {
+		return string(c)
+	}
+	switch c {
+	case ' ':
+		return "␣"
+	case '\n':
+		return `\n`
+	case '\t':
+		return `\t`
+	}
+	return fmt.Sprintf(`\x%02x`, c)
+}

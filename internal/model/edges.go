@@ -1,0 +1,16 @@
+package model
+
+// Letter is a letter transition target: an edge labelled by a byte class,
+// standing for one transition per member byte. Shared by the VA and
+// extended-VA representations and by the evaluator interface.
+type Letter struct {
+	Class ByteSet
+	To    int
+}
+
+// Capture is an extended variable transition target: an edge labelled by a
+// non-empty marker set S ⊆ MarkersV (Section 3.1 of the paper).
+type Capture struct {
+	S  Set
+	To int
+}

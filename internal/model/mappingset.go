@@ -1,0 +1,163 @@
+package model
+
+import (
+	"sort"
+	"strings"
+)
+
+// MappingSet is a duplicate-free set of mappings — the result ⟦γ⟧d of
+// evaluating a spanner. It supports the algebra operations of Section 2
+// (join ⋈, union ∪, projection π) at the level of result sets; these serve
+// as the reference semantics against which the automaton-level
+// constructions of Proposition 4.4 are property-tested.
+type MappingSet struct {
+	byKey map[string]*Mapping
+}
+
+// NewMappingSet returns an empty set.
+func NewMappingSet() *MappingSet {
+	return &MappingSet{byKey: make(map[string]*Mapping)}
+}
+
+// Add inserts µ (by reference; callers should pass a mapping they will not
+// mutate) and reports whether it was new.
+func (ms *MappingSet) Add(m *Mapping) bool {
+	k := m.Key()
+	if _, ok := ms.byKey[k]; ok {
+		return false
+	}
+	ms.byKey[k] = m
+	return true
+}
+
+// Len returns |ms|.
+func (ms *MappingSet) Len() int { return len(ms.byKey) }
+
+// Contains reports whether µ ∈ ms.
+func (ms *MappingSet) Contains(m *Mapping) bool {
+	_, ok := ms.byKey[m.Key()]
+	return ok
+}
+
+// ContainsKey reports whether a mapping with canonical key k is present.
+func (ms *MappingSet) ContainsKey(k string) bool {
+	_, ok := ms.byKey[k]
+	return ok
+}
+
+// Keys returns the canonical keys in sorted order.
+func (ms *MappingSet) Keys() []string {
+	out := make([]string, 0, len(ms.byKey))
+	for k := range ms.byKey {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Mappings returns the members ordered by canonical key, for deterministic
+// iteration in tests and tools.
+func (ms *MappingSet) Mappings() []*Mapping {
+	keys := ms.Keys()
+	out := make([]*Mapping, len(keys))
+	for i, k := range keys {
+		out[i] = ms.byKey[k]
+	}
+	return out
+}
+
+// Equal reports whether the two sets contain exactly the same mappings.
+func (ms *MappingSet) Equal(o *MappingSet) bool {
+	if ms.Len() != o.Len() {
+		return false
+	}
+	for k := range ms.byKey {
+		if _, ok := o.byKey[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns human-readable descriptions of the symmetric difference,
+// capped at limit entries; used to print actionable test failures.
+func (ms *MappingSet) Diff(o *MappingSet, limit int) []string {
+	var out []string
+	for _, k := range ms.Keys() {
+		if !o.ContainsKey(k) {
+			out = append(out, "only in left: {"+k+"}")
+			if len(out) == limit {
+				return out
+			}
+		}
+	}
+	for _, k := range o.Keys() {
+		if !ms.ContainsKey(k) {
+			out = append(out, "only in right: {"+k+"}")
+			if len(out) == limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// UnionSets returns a ∪ b.
+func UnionSets(a, b *MappingSet) *MappingSet {
+	out := NewMappingSet()
+	for _, m := range a.byKey {
+		out.Add(m)
+	}
+	for _, m := range b.byKey {
+		out.Add(m)
+	}
+	return out
+}
+
+// JoinSets returns a ⋈ b = {µ1 ∪ µ2 | µ1 ∈ a, µ2 ∈ b, µ1 ~ µ2}, with the
+// result mappings bound to a merged registry.
+func JoinSets(a, b *MappingSet, regA, regB *Registry) (*MappingSet, error) {
+	merged, _, _, err := Merge(regA, regB)
+	if err != nil {
+		return nil, err
+	}
+	out := NewMappingSet()
+	for _, m1 := range a.byKey {
+		for _, m2 := range b.byKey {
+			if !m1.Compatible(m2) {
+				continue
+			}
+			u, err := m1.Union(m2, merged)
+			if err != nil {
+				return nil, err
+			}
+			out.Add(u)
+		}
+	}
+	return out, nil
+}
+
+// ProjectSet returns π_keep(a), binding results to reg (typically a
+// registry of exactly the kept names).
+func ProjectSet(a *MappingSet, keep []string, reg *Registry) (*MappingSet, error) {
+	out := NewMappingSet()
+	for _, m := range a.byKey {
+		p, err := m.Project(keep, reg)
+		if err != nil {
+			return nil, err
+		}
+		out.Add(p)
+	}
+	return out, nil
+}
+
+// String renders the set as sorted canonical keys, one per line.
+func (ms *MappingSet) String() string {
+	keys := ms.Keys()
+	for i, k := range keys {
+		if k == "" {
+			keys[i] = "∅"
+		}
+	}
+	return strings.Join(keys, "\n")
+}

@@ -1,0 +1,161 @@
+package model
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func randomSet(r *rand.Rand) Set {
+	return Set{open: r.Uint64(), close: r.Uint64()}
+}
+
+// Generate lets testing/quick synthesize arbitrary marker sets.
+func (Set) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(randomSet(r))
+}
+
+func TestMarkerSetBasics(t *testing.T) {
+	reg := NewRegistryOf("x", "y")
+	x, _ := reg.Lookup("x")
+	y, _ := reg.Lookup("y")
+
+	s := SetOf(Open(x), CloseOf(y))
+	if s.IsEmpty() {
+		t.Fatal("set should be non-empty")
+	}
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if !s.HasOpen(x) || !s.HasClose(y) {
+		t.Fatal("missing expected markers")
+	}
+	if s.HasClose(x) || s.HasOpen(y) {
+		t.Fatal("unexpected markers present")
+	}
+	if got, want := s.String(reg), "{x$, %y}"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+
+	both := SetOf(Open(x), CloseOf(x))
+	if got, want := both.String(reg), "{x$, %x}"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestMarkerSetMarkersOrder(t *testing.T) {
+	reg := NewRegistryOf("a", "b", "c")
+	a, _ := reg.Lookup("a")
+	b, _ := reg.Lookup("b")
+	c, _ := reg.Lookup("c")
+	s := SetOf(CloseOf(a), Open(c), Open(b))
+	ms := s.Markers()
+	want := []Marker{Open(b), Open(c), CloseOf(a)}
+	if !reflect.DeepEqual(ms, want) {
+		t.Fatalf("Markers = %v, want %v (opens before closes, by index)", ms, want)
+	}
+}
+
+func TestMarkerSetAlgebraProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+
+	if err := quick.Check(func(s, u Set) bool {
+		// Union is commutative and contains both operands.
+		un := s.Union(u)
+		return un == u.Union(s) && un.Contains(s) && un.Contains(u)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+
+	if err := quick.Check(func(s, u Set) bool {
+		// Minus removes exactly the intersection.
+		return s.Minus(u).Union(s.Inter(u)) == s && s.Minus(u).Disjoint(u)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+
+	if err := quick.Check(func(s, u Set) bool {
+		// Disjoint agrees with empty intersection.
+		return s.Disjoint(u) == s.Inter(u).IsEmpty()
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+
+	if err := quick.Check(func(s Set) bool {
+		// Rebuilding a set from its markers round-trips.
+		return SetOf(s.Markers()...) == s && s.Len() == len(s.Markers())
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarkerSetRemap(t *testing.T) {
+	// Swap variables 0 and 1.
+	f := []Var{1, 0}
+	s := SetOf(Open(0), CloseOf(1))
+	got := s.Remap(f)
+	want := SetOf(Open(1), CloseOf(0))
+	if got != want {
+		t.Fatalf("Remap = %#v, want %#v", got, want)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	x, err := r.Add("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, err := r.Add("x")
+	if err != nil || x2 != x {
+		t.Fatalf("Add should be idempotent: %v %v vs %v", err, x2, x)
+	}
+	y := r.MustAdd("y")
+	if y == x {
+		t.Fatal("distinct names must get distinct indices")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if got := r.Name(y); got != "y" {
+		t.Fatalf("Name = %q", got)
+	}
+	if _, ok := r.Lookup("z"); ok {
+		t.Fatal("Lookup of unknown name should fail")
+	}
+
+	c := r.Clone()
+	c.MustAdd("z")
+	if r.Len() != 2 || c.Len() != 3 {
+		t.Fatal("Clone must be independent")
+	}
+}
+
+func TestRegistryLimit(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < MaxVars; i++ {
+		r.MustAdd(string(rune('A' + i%26)) + string(rune('a'+i/26)))
+	}
+	if _, err := r.Add("overflow"); err == nil {
+		t.Fatal("expected error past MaxVars")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewRegistryOf("x", "y")
+	b := NewRegistryOf("y", "z")
+	merged, fa, fb, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != 3 {
+		t.Fatalf("merged Len = %d, want 3", merged.Len())
+	}
+	// y must map to the same index from both sides.
+	ya, _ := a.Lookup("y")
+	yb, _ := b.Lookup("y")
+	if fa[ya] != fb[yb] {
+		t.Fatal("shared variable mapped inconsistently")
+	}
+}

@@ -1,0 +1,54 @@
+package model
+
+import "fmt"
+
+// Span is a document span ⟨i, j⟩ with 1 ≤ i ≤ j: the half-open interval of
+// positions [i, j) in a document, using the paper's 1-based position
+// convention. A span of document d additionally satisfies j ≤ |d|+1, and
+// its content d(s) is the substring from position i through j−1.
+//
+// The zero Span (Start == 0) is used by Mapping to represent "variable not
+// assigned"; valid spans always have Start ≥ 1.
+type Span struct {
+	Start, End int
+}
+
+// NewSpan returns the span [i, j⟩ and panics if it is malformed; intended
+// for literal spans in tests mirroring the paper's figures.
+func NewSpan(i, j int) Span {
+	if i < 1 || j < i {
+		panic(fmt.Sprintf("model: malformed span [%d, %d⟩", i, j))
+	}
+	return Span{i, j}
+}
+
+// IsZero reports whether the span is the "unassigned" sentinel.
+func (s Span) IsZero() bool { return s.Start == 0 }
+
+// Len returns the length of the spanned region, j − i.
+func (s Span) Len() int { return s.End - s.Start }
+
+// In reports whether s is a span of a document of length n (j ≤ n+1).
+func (s Span) In(n int) bool { return s.Start >= 1 && s.End <= n+1 }
+
+// Text returns the content d(s) of the span in document d.
+func (s Span) Text(d []byte) string {
+	if s.IsZero() {
+		return ""
+	}
+	return string(d[s.Start-1 : s.End-1])
+}
+
+// Follows reports whether t starts where s ends, i.e. s·t is defined.
+func (s Span) Follows(t Span) bool { return s.End == t.Start }
+
+// Concat returns the concatenation s·t; the caller must ensure s.Follows(t).
+func (s Span) Concat(t Span) Span { return Span{s.Start, t.End} }
+
+// String renders the span in the paper's notation "[i, j⟩".
+func (s Span) String() string {
+	if s.IsZero() {
+		return "⊥"
+	}
+	return fmt.Sprintf("[%d, %d⟩", s.Start, s.End)
+}

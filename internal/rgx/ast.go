@@ -1,0 +1,183 @@
+// Package rgx implements regex formulas (RGX), the expression language for
+// document spanners from Section 2 of "Constant delay algorithms for
+// regular document spanners": classical regular expressions extended with
+// variable-capture subexpressions x{γ}.
+//
+// The package contains the AST, a parser for a concrete syntax, a direct
+// interpreter of the Table 1 semantics (exponential; the ground truth for
+// differential testing), and the linear-time compiler from RGX to
+// variable-set automata that Section 4 relies on.
+package rgx
+
+import (
+	"fmt"
+	"strings"
+
+	"spanners/internal/model"
+)
+
+// Node is a regex-formula AST node. The five core forms mirror the paper's
+// grammar γ := ε | a | x{γ} | γ·γ | γ∨γ | γ*; the parser desugars the
+// convenience operators + and ? into these.
+type Node interface {
+	fmt.Stringer
+	isNode()
+}
+
+// Empty is the formula ε, matching exactly the empty spans.
+type Empty struct{}
+
+// Class matches any single byte in Set; a singleton set is the paper's
+// letter formula a.
+type Class struct {
+	Set model.ByteSet
+}
+
+// Capture is the variable-capture formula x{γ}: it matches whatever Sub
+// matches and records the matched span in variable Var as a side effect.
+type Capture struct {
+	Var string
+	Sub Node
+}
+
+// Concat is the concatenation γ1·γ2·…·γk (k ≥ 2).
+type Concat struct {
+	Subs []Node
+}
+
+// Alt is the union γ1 ∨ γ2 ∨ … ∨ γk (k ≥ 2).
+type Alt struct {
+	Subs []Node
+}
+
+// Star is the Kleene closure γ*.
+type Star struct {
+	Sub Node
+}
+
+func (Empty) isNode()   {}
+func (Class) isNode()   {}
+func (Capture) isNode() {}
+func (Concat) isNode()  {}
+func (Alt) isNode()     {}
+func (Star) isNode()    {}
+
+func (Empty) String() string { return "()" }
+
+func (c Class) String() string { return c.Set.String() }
+
+func (c Capture) String() string {
+	return "!" + c.Var + "{" + c.Sub.String() + "}"
+}
+
+func (c Concat) String() string {
+	var b strings.Builder
+	for _, s := range c.Subs {
+		if needsParens(s, false) {
+			b.WriteByte('(')
+			b.WriteString(s.String())
+			b.WriteByte(')')
+		} else {
+			b.WriteString(s.String())
+		}
+	}
+	return b.String()
+}
+
+func (a Alt) String() string {
+	parts := make([]string, len(a.Subs))
+	for i, s := range a.Subs {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+func (s Star) String() string {
+	if needsParens(s.Sub, true) {
+		return "(" + s.Sub.String() + ")*"
+	}
+	return s.Sub.String() + "*"
+}
+
+// needsParens decides whether a subnode must be parenthesized when printed
+// under a tighter-binding parent. atomic is true when the parent is a
+// postfix operator.
+func needsParens(n Node, atomic bool) bool {
+	switch n.(type) {
+	case Alt:
+		return true
+	case Concat:
+		return atomic
+	case Star:
+		return atomic
+	default:
+		return false
+	}
+}
+
+// Vars returns the distinct variable names of the formula (var(γ)) in
+// first-appearance order.
+func Vars(n Node) []string {
+	var out []string
+	seen := make(map[string]bool)
+	var walk func(Node)
+	walk = func(n Node) {
+		switch t := n.(type) {
+		case Capture:
+			if !seen[t.Var] {
+				seen[t.Var] = true
+				out = append(out, t.Var)
+			}
+			walk(t.Sub)
+		case Concat:
+			for _, s := range t.Subs {
+				walk(s)
+			}
+		case Alt:
+			for _, s := range t.Subs {
+				walk(s)
+			}
+		case Star:
+			walk(t.Sub)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Registry builds a variable registry for the formula.
+func Registry(n Node) (*model.Registry, error) {
+	reg := model.NewRegistry()
+	for _, name := range Vars(n) {
+		if _, err := reg.Add(name); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}
+
+// Size returns the number of alphabet symbols and operators in the formula,
+// the measure |R| used by the paper.
+func Size(n Node) int {
+	switch t := n.(type) {
+	case Empty, Class:
+		return 1
+	case Capture:
+		return 1 + Size(t.Sub)
+	case Concat:
+		total := len(t.Subs) - 1
+		for _, s := range t.Subs {
+			total += Size(s)
+		}
+		return total
+	case Alt:
+		total := len(t.Subs) - 1
+		for _, s := range t.Subs {
+			total += Size(s)
+		}
+		return total
+	case Star:
+		return 1 + Size(t.Sub)
+	}
+	return 0
+}

@@ -1,0 +1,146 @@
+package rgx
+
+import (
+	"spanners/internal/model"
+	"spanners/internal/va"
+)
+
+// Compile translates the formula into an equivalent variable-set automaton,
+// the linear-time RGX → VA translation the paper inherits from Fagin et
+// al. [10]. The construction is a Thompson-style fragment build over an
+// ε-NFA whose non-ε labels are byte classes and variable markers, followed
+// by ε-elimination. The resulting VA need not be sequential — e.g. a
+// capture under a star produces runs that reopen a variable — and callers
+// route it through the sequentiality check and, if needed, the
+// sequentialization product (Proposition 4.1 pipeline).
+func Compile(n Node) (*va.VA, error) {
+	reg, err := Registry(n)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{reg: reg}
+	start, end := c.build(n)
+	c.markFinal = end
+
+	// Eliminate ε-transitions: state q inherits the non-ε transitions and
+	// finality of every state in its ε-closure.
+	out := va.New(reg)
+	for range c.states {
+		out.AddState()
+	}
+	out.SetInitial(start)
+	for q := range c.states {
+		closure := c.epsClosure(q)
+		for _, p := range closure {
+			if p == end {
+				out.SetFinal(q, true)
+			}
+			for _, e := range c.states[p].letters {
+				out.AddLetter(q, e.Class, e.To)
+			}
+			for _, e := range c.states[p].markers {
+				out.AddMarker(q, e.M, e.To)
+			}
+		}
+	}
+	return out.Trim(), nil
+}
+
+// MustCompile parses and compiles, panicking on error.
+func MustCompile(pattern string) *va.VA {
+	n, err := Parse(pattern)
+	if err != nil {
+		panic(err)
+	}
+	a, err := Compile(n)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+type enfaState struct {
+	eps     []int
+	letters []model.Letter
+	markers []va.MarkerEdge
+}
+
+type compiler struct {
+	reg       *model.Registry
+	states    []enfaState
+	markFinal int
+}
+
+func (c *compiler) newState() int {
+	c.states = append(c.states, enfaState{})
+	return len(c.states) - 1
+}
+
+func (c *compiler) eps(from, to int) {
+	c.states[from].eps = append(c.states[from].eps, to)
+}
+
+// build returns the (start, end) states of the fragment for n.
+func (c *compiler) build(n Node) (int, int) {
+	switch t := n.(type) {
+	case Empty:
+		s := c.newState()
+		return s, s
+	case Class:
+		s, e := c.newState(), c.newState()
+		c.states[s].letters = append(c.states[s].letters, model.Letter{Class: t.Set, To: e})
+		return s, e
+	case Capture:
+		v := c.reg.MustAdd(t.Var)
+		s, e := c.newState(), c.newState()
+		fs, fe := c.build(t.Sub)
+		c.states[s].markers = append(c.states[s].markers, va.MarkerEdge{M: model.Open(v), To: fs})
+		c.states[fe].markers = append(c.states[fe].markers, va.MarkerEdge{M: model.CloseOf(v), To: e})
+		return s, e
+	case Concat:
+		s, e := c.build(t.Subs[0])
+		for _, sub := range t.Subs[1:] {
+			ns, ne := c.build(sub)
+			c.eps(e, ns)
+			e = ne
+		}
+		return s, e
+	case Alt:
+		s, e := c.newState(), c.newState()
+		for _, sub := range t.Subs {
+			fs, fe := c.build(sub)
+			c.eps(s, fs)
+			c.eps(fe, e)
+		}
+		return s, e
+	case Star:
+		s, e := c.newState(), c.newState()
+		fs, fe := c.build(t.Sub)
+		c.eps(s, fs)
+		c.eps(s, e)
+		c.eps(fe, fs)
+		c.eps(fe, e)
+		return s, e
+	}
+	panic("rgx: unknown node")
+}
+
+// epsClosure returns every state reachable from q via ε-transitions,
+// including q itself.
+func (c *compiler) epsClosure(q int) []int {
+	seen := map[int]bool{q: true}
+	stack := []int{q}
+	out := []int{q}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range c.states[p].eps {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+				stack = append(stack, t)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,315 @@
+package rgx_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spanners/internal/gen"
+	"spanners/internal/model"
+	"spanners/internal/rgx"
+)
+
+func mustEval(t *testing.T, pattern, doc string) *model.MappingSet {
+	t.Helper()
+	n, err := rgx.Parse(pattern)
+	if err != nil {
+		t.Fatalf("parse %q: %v", pattern, err)
+	}
+	out, err := rgx.Evaluate(n, []byte(doc))
+	if err != nil {
+		t.Fatalf("evaluate %q: %v", pattern, err)
+	}
+	return out
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"(", ")", "a)", "*", "+", "?", "!{a}", "!x", "!x{a", "[", "[]",
+		"[z-a]", `\x9`, `\`, "a{b}", "}",
+	} {
+		if _, err := rgx.Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseRoundTripViaString(t *testing.T) {
+	for _, p := range []string{
+		"abc", "a|b", "a*", "(ab)*", "!x{a}", "!x{a|b}c", "a!x{!y{b}}",
+		"[a-c]", ".", "()", "(a|)b",
+	} {
+		n, err := rgx.Parse(p)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", p, err)
+		}
+		n2, err := rgx.Parse(n.String())
+		if err != nil {
+			t.Fatalf("reparse of %q → %q: %v", p, n.String(), err)
+		}
+		if n.String() != n2.String() {
+			t.Fatalf("print/parse not stable: %q → %q → %q", p, n.String(), n2.String())
+		}
+	}
+}
+
+func TestParseDesugar(t *testing.T) {
+	n := rgx.MustParse("a+")
+	if n.String() != "aa*" && n.String() != "a(a)*" {
+		t.Fatalf("a+ should desugar to concatenation with star, got %s", n)
+	}
+	n = rgx.MustParse("a?")
+	if !strings.Contains(n.String(), "|") {
+		t.Fatalf("a? should desugar to an alternation, got %s", n)
+	}
+}
+
+func TestParseEscapesAndClasses(t *testing.T) {
+	n := rgx.MustParse(`\d`)
+	c, ok := n.(rgx.Class)
+	if !ok || !c.Set.Has('5') || c.Set.Has('a') {
+		t.Fatalf("\\d parsed wrong: %v", n)
+	}
+	n = rgx.MustParse(`[\d\s-]`)
+	c = n.(rgx.Class)
+	if !c.Set.Has('7') || !c.Set.Has(' ') || !c.Set.Has('-') {
+		t.Fatalf("[\\d\\s-] parsed wrong: %v", c.Set)
+	}
+	n = rgx.MustParse(`[^a]`)
+	c = n.(rgx.Class)
+	if c.Set.Has('a') || !c.Set.Has('b') {
+		t.Fatal("negated class wrong")
+	}
+	n = rgx.MustParse(`\x41`)
+	c = n.(rgx.Class)
+	if !c.Set.Has('A') {
+		t.Fatal("hex escape wrong")
+	}
+	n = rgx.MustParse(`\.`)
+	c = n.(rgx.Class)
+	if !c.Set.Has('.') || c.Set.Has('a') {
+		t.Fatal("escaped dot must be literal")
+	}
+}
+
+func TestVarsAndSize(t *testing.T) {
+	n := rgx.MustParse("!x{a}!y{b}|!x{c}")
+	vars := rgx.Vars(n)
+	if len(vars) != 2 || vars[0] != "x" || vars[1] != "y" {
+		t.Fatalf("Vars = %v", vars)
+	}
+	if rgx.Size(n) < 5 {
+		t.Fatalf("Size = %d seems too small", rgx.Size(n))
+	}
+}
+
+// --- Table 1 semantics, hand-checked cases ---
+
+func TestSemanticsEpsilon(t *testing.T) {
+	// ⟦ε⟧d is the empty mapping iff d = ε.
+	if got := mustEval(t, "()", ""); got.Len() != 1 || !got.ContainsKey("") {
+		t.Fatalf("⟦ε⟧ε = %v", got)
+	}
+	if got := mustEval(t, "()", "a"); got.Len() != 0 {
+		t.Fatalf("⟦ε⟧a = %v", got)
+	}
+}
+
+func TestSemanticsLetter(t *testing.T) {
+	if got := mustEval(t, "a", "a"); got.Len() != 1 {
+		t.Fatalf("⟦a⟧a = %v", got)
+	}
+	for _, doc := range []string{"", "b", "aa"} {
+		if got := mustEval(t, "a", doc); got.Len() != 0 {
+			t.Fatalf("⟦a⟧%s = %v", doc, got)
+		}
+	}
+}
+
+func TestSemanticsCaptureWholeSpans(t *testing.T) {
+	// The introduction's Σ*·x{Σ*}·Σ* example: x ranges over all spans.
+	got := mustEval(t, ".*!x{.*}.*", "ab")
+	// Spans of "ab": [i,j⟩ with 1 ≤ i ≤ j ≤ 3 → 6 mappings.
+	if got.Len() != 6 {
+		t.Fatalf("|⟦γ⟧ab| = %d, want 6:\n%v", got.Len(), got)
+	}
+	for _, k := range []string{
+		"x=[1,1)", "x=[1,2)", "x=[1,3)", "x=[2,2)", "x=[2,3)", "x=[3,3)",
+	} {
+		if !got.ContainsKey(k) {
+			t.Fatalf("missing %s", k)
+		}
+	}
+}
+
+func TestSemanticsNestedQuadratic(t *testing.T) {
+	// Ω(|d|²) lower bound from the introduction: nesting x2 in x1.
+	got := mustEval(t, gen.NestedPattern(2), "aaa")
+	// For n=3: Σ over spans s1 of (#subspans of s1): computed = 50.
+	want := 0
+	n := 3
+	for i := 1; i <= n+1; i++ {
+		for j := i; j <= n+1; j++ {
+			k := j - i + 1
+			want += k * (k + 1) / 2
+		}
+	}
+	if got.Len() != want {
+		t.Fatalf("|⟦γ⟧aaa| = %d, want %d", got.Len(), want)
+	}
+}
+
+func TestSemanticsUnionDomainDiffers(t *testing.T) {
+	// Mappings (not tuples): branches may assign different variables.
+	got := mustEval(t, "!x{a}|!y{a}", "a")
+	if got.Len() != 2 || !got.ContainsKey("x=[1,2)") || !got.ContainsKey("y=[1,2)") {
+		t.Fatalf("⟦x{a}∨y{a}⟧a = %v", got)
+	}
+}
+
+func TestSemanticsConcatDisjointDomains(t *testing.T) {
+	// x must not be bound on both sides of a concatenation.
+	got := mustEval(t, "!x{a}!x{b}", "ab")
+	if got.Len() != 0 {
+		t.Fatalf("⟦x{a}·x{b}⟧ab = %v, want ∅", got)
+	}
+}
+
+func TestSemanticsStarWithCapture(t *testing.T) {
+	// (!x{a})* over "aa": two iterations would rebind x → no valid
+	// mapping spans the whole document; over "a" exactly one.
+	got := mustEval(t, "(!x{a})*", "aa")
+	if got.Len() != 0 {
+		t.Fatalf("⟦(x{a})*⟧aa = %v, want ∅", got)
+	}
+	got = mustEval(t, "(!x{a})*", "a")
+	if got.Len() != 1 || !got.ContainsKey("x=[1,2)") {
+		t.Fatalf("⟦(x{a})*⟧a = %v", got)
+	}
+	got = mustEval(t, "(!x{a})*", "")
+	if got.Len() != 1 || !got.ContainsKey("") {
+		t.Fatalf("⟦(x{a})*⟧ε = %v, want the empty mapping", got)
+	}
+}
+
+func TestSemanticsEmptySpanCapture(t *testing.T) {
+	got := mustEval(t, "a!x{()}b", "ab")
+	if got.Len() != 1 || !got.ContainsKey("x=[2,2)") {
+		t.Fatalf("⟦a·x{ε}·b⟧ab = %v", got)
+	}
+}
+
+func TestFigure1ReferenceSemantics(t *testing.T) {
+	n := rgx.MustParse(gen.Figure1Pattern())
+	got, err := rgx.Evaluate(n, gen.Figure1Doc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("|⟦γ⟧d| = %d, want 2:\n%v", got.Len(), got)
+	}
+	if !got.ContainsKey("email=[7,13)|name=[1,5)") {
+		t.Fatalf("µ1 missing:\n%v", got)
+	}
+	if !got.ContainsKey("name=[16,20)|phone=[22,28)") {
+		t.Fatalf("µ2 missing:\n%v", got)
+	}
+}
+
+// --- compilation ---
+
+func TestCompileAgainstInterpreter(t *testing.T) {
+	patterns := []string{
+		"a", "ab", "a|b", "a*", "(ab)*", "!x{a}", "!x{ab}", "!x{a*}b",
+		"!x{a}!y{b}", "!x{!y{a}b}", ".*!x{a}.*", "(!x{a})*", "!x{a}|!x{b}",
+		"(a|b)*!x{ab}(a|b)*", "!x{()}a*",
+	}
+	docs := []string{"", "a", "b", "ab", "ba", "aab", "abab"}
+	for _, p := range patterns {
+		n := rgx.MustParse(p)
+		v, err := rgx.Compile(n)
+		if err != nil {
+			t.Fatalf("compile %q: %v", p, err)
+		}
+		for _, d := range docs {
+			want, err := rgx.Evaluate(n, []byte(d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := v.Eval([]byte(d))
+			if !got.Equal(want) {
+				t.Fatalf("pattern %q doc %q:\n%v\nVA:\n%s", p, d, want.Diff(got, 10), v)
+			}
+		}
+	}
+}
+
+func TestCompileRandomAgainstInterpreter(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	docs := []string{"", "a", "b", "ab", "ba", "bab"}
+	for i := 0; i < 80; i++ {
+		n := gen.RandomRGX(rng, 3, []string{"x", "y"}, "ab")
+		v, err := rgx.Compile(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range docs {
+			want, err := rgx.Evaluate(n, []byte(d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := v.Eval([]byte(d))
+			if !got.Equal(want) {
+				t.Fatalf("case %d (%s) doc %q:\n%v", i, n, d, want.Diff(got, 10))
+			}
+		}
+	}
+}
+
+func TestCompileFunctionalRGXIsFunctional(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for i := 0; i < 40; i++ {
+		n := gen.RandomFunctionalRGX(rng, 3, []string{"x", "y", "z"}, "ab")
+		v, err := rgx.Compile(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.IsFunctional() {
+			t.Fatalf("case %d: %s compiled to a non-functional VA:\n%s", i, n, v)
+		}
+	}
+}
+
+func TestCompileLinearSize(t *testing.T) {
+	// The RGX → VA translation is linear; verify on growing patterns.
+	prev := 0
+	for l := 1; l <= 8; l++ {
+		v, err := rgx.Compile(rgx.MustParse(gen.NestedPattern(l)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev > 0 && v.Size() > prev+64 {
+			t.Fatalf("ℓ=%d: size %d grew nonlinearly from %d", l, v.Size(), prev)
+		}
+		prev = v.Size()
+	}
+}
+
+func TestRegistryOverflow(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < model.MaxVars+1; i++ {
+		b.WriteString("!v")
+		for j, c := range []byte{byte('a' + i%26), byte('a' + (i/26)%26)} {
+			_ = j
+			b.WriteByte(c)
+		}
+		b.WriteString("{a}")
+	}
+	n, err := rgx.Parse(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rgx.Compile(n); err == nil {
+		t.Fatal("expected too-many-variables error")
+	}
+}

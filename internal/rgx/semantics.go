@@ -1,0 +1,197 @@
+package rgx
+
+import (
+	"fmt"
+
+	"spanners/internal/model"
+)
+
+// Evaluate computes ⟦γ⟧d by direct structural induction on the formula,
+// implementing the two-layer semantics of Table 1 verbatim: the inner layer
+// [γ]d of (span, mapping) pairs, and the outer layer that keeps the
+// mappings of pairs spanning the whole document. It is exponential in
+// general (the inner sets can hold Ω(|d|^ℓ) pairs) and exists as the
+// executable specification against which the automaton pipeline is
+// differentially tested (experiment E1).
+func Evaluate(n Node, d []byte) (*model.MappingSet, error) {
+	reg, err := Registry(n)
+	if err != nil {
+		return nil, err
+	}
+	ev := &interp{d: d, reg: reg}
+	pairs, err := ev.eval(n)
+	if err != nil {
+		return nil, err
+	}
+	out := model.NewMappingSet()
+	whole := model.Span{Start: 1, End: len(d) + 1}
+	for _, p := range pairs.all {
+		if p.span == whole {
+			out.Add(p.mapping)
+		}
+	}
+	return out, nil
+}
+
+type pair struct {
+	span    model.Span
+	mapping *model.Mapping
+}
+
+// pairSet is a deduplicated set of (span, mapping) pairs with an index by
+// start position, which makes the concatenation rule's join linear in the
+// number of composable pairs.
+type pairSet struct {
+	keys    map[string]bool
+	all     []pair
+	byStart map[int][]pair
+}
+
+func newPairSet() *pairSet {
+	return &pairSet{keys: make(map[string]bool), byStart: make(map[int][]pair)}
+}
+
+func pairKey(p pair) string {
+	return fmt.Sprintf("%d:%d:%s", p.span.Start, p.span.End, p.mapping.Key())
+}
+
+func (ps *pairSet) add(p pair) bool {
+	k := pairKey(p)
+	if ps.keys[k] {
+		return false
+	}
+	ps.keys[k] = true
+	ps.all = append(ps.all, p)
+	ps.byStart[p.span.Start] = append(ps.byStart[p.span.Start], p)
+	return true
+}
+
+func (ps *pairSet) len() int { return len(ps.all) }
+
+type interp struct {
+	d   []byte
+	reg *model.Registry
+}
+
+func (ev *interp) eval(n Node) (*pairSet, error) {
+	out := newPairSet()
+	nd := len(ev.d)
+	switch t := n.(type) {
+	case Empty:
+		// [ε]d = {(s, ∅) | s ∈ span(d), d(s) = ε}.
+		for i := 1; i <= nd+1; i++ {
+			out.add(pair{model.Span{Start: i, End: i}, model.NewMapping(ev.reg)})
+		}
+	case Class:
+		// [a]d = {(s, ∅) | d(s) = a}, generalized to byte classes.
+		for i := 1; i <= nd; i++ {
+			if t.Set.Has(ev.d[i-1]) {
+				out.add(pair{model.Span{Start: i, End: i + 1}, model.NewMapping(ev.reg)})
+			}
+		}
+	case Capture:
+		// [x{γ}]d = {(s, [x→s] ∪ µ′) | (s, µ′) ∈ [γ]d, x ∉ dom(µ′)}.
+		sub, err := ev.eval(t.Sub)
+		if err != nil {
+			return nil, err
+		}
+		v, ok := ev.reg.Lookup(t.Var)
+		if !ok {
+			return nil, fmt.Errorf("rgx: unregistered variable %q", t.Var)
+		}
+		for _, p := range sub.all {
+			if _, assigned := p.mapping.Get(v); assigned {
+				continue
+			}
+			m := p.mapping.Clone()
+			m.Assign(v, p.span)
+			out.add(pair{p.span, m})
+		}
+	case Concat:
+		cur, err := ev.eval(t.Subs[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, sub := range t.Subs[1:] {
+			right, err := ev.eval(sub)
+			if err != nil {
+				return nil, err
+			}
+			cur = ev.concat(cur, right)
+		}
+		return cur, nil
+	case Alt:
+		for _, sub := range t.Subs {
+			s, err := ev.eval(sub)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range s.all {
+				out.add(p)
+			}
+		}
+	case Star:
+		// [γ*]d = [ε]d ∪ [γ]d ∪ [γ²]d ∪ …, computed as a fixpoint: the
+		// union U of all powers satisfies U = [γ]d ∪ (U ⋅ [γ]d), and the
+		// pair space over d is finite, so iteration terminates.
+		base, err := ev.eval(t.Sub)
+		if err != nil {
+			return nil, err
+		}
+		u := newPairSet()
+		for _, p := range base.all {
+			u.add(p)
+		}
+		for {
+			grown := ev.concat(u, base)
+			added := false
+			for _, p := range grown.all {
+				if u.add(p) {
+					added = true
+				}
+			}
+			if !added {
+				break
+			}
+		}
+		eps, err := ev.eval(Empty{})
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range eps.all {
+			u.add(p)
+		}
+		return u, nil
+	default:
+		return nil, fmt.Errorf("rgx: unknown node %T", n)
+	}
+	return out, nil
+}
+
+// concat implements the [γ1·γ2]d rule: compose pairs whose spans abut and
+// whose mapping domains are disjoint.
+func (ev *interp) concat(left, right *pairSet) *pairSet {
+	out := newPairSet()
+	for _, l := range left.all {
+		for _, r := range right.byStart[l.span.End] {
+			if !disjointDomains(l.mapping, r.mapping) {
+				continue
+			}
+			m, err := l.mapping.Union(r.mapping, ev.reg)
+			if err != nil {
+				continue // unreachable: disjoint domains cannot conflict
+			}
+			out.add(pair{l.span.Concat(r.span), m})
+		}
+	}
+	return out
+}
+
+func disjointDomains(a, b *model.Mapping) bool {
+	for _, v := range a.Domain() {
+		if _, ok := b.Get(v); ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,154 @@
+package va
+
+import (
+	"math/bits"
+
+	"spanners/internal/model"
+)
+
+// Per-variable status values used by the sequentiality and functionality
+// checks. A run is valid iff for every variable, its markers along the run
+// occur at most once each with the open position ≤ the close position
+// (paper, Section 2). Validity therefore decomposes into one small status
+// automaton per variable, making both checks polynomial — O(|A| · ℓ)
+// overall — instead of the 3^ℓ product that sequentialization itself needs.
+//
+// The positional reading of validity admits a close marker followed by the
+// matching open marker at the same document position (an empty span), which
+// status stClosePending tracks: it must be resolved by an open before any
+// letter is read.
+const (
+	stUnopened     = 0
+	stOpen         = 1
+	stClosed       = 2
+	stClosePending = 3 // closed; open must still occur at this position
+	stError        = 4
+
+	numStatuses = 5
+)
+
+// markerStatus advances the per-variable status across one marker of the
+// tracked variable.
+func markerStatus(s int, close bool) int {
+	if close {
+		switch s {
+		case stUnopened:
+			return stClosePending
+		case stOpen:
+			return stClosed
+		}
+		return stError
+	}
+	switch s {
+	case stUnopened:
+		return stOpen
+	case stClosePending:
+		return stClosed // close-then-open at the same position: [i, i⟩
+	}
+	return stError
+}
+
+// letterStatus advances the status across a letter transition: a pending
+// close can no longer be matched at the same position.
+func letterStatus(s int) int {
+	if s == stClosePending {
+		return stError
+	}
+	return s
+}
+
+// badAtFinal reports whether a run reaching a final state with this status
+// is invalid (or, when functional, non-total).
+func badAtFinal(s int, functional bool) bool {
+	switch s {
+	case stOpen, stClosePending, stError:
+		return true
+	case stUnopened:
+		return functional
+	}
+	return false
+}
+
+// IsSequential reports whether every accepting run of A is valid: variables
+// are opened and closed at most once and in the correct positional order on
+// every path from the initial state to a final state.
+func (a *VA) IsSequential() bool {
+	_, ok := a.firstViolation(false)
+	return ok
+}
+
+// IsFunctional reports whether every accepting run of A is functional: it
+// is valid and mentions every variable in var(A).
+func (a *VA) IsFunctional() bool {
+	_, ok := a.firstViolation(true)
+	return ok
+}
+
+// SequentialityViolation returns the first variable witnessing that A is
+// not sequential, for diagnostics; ok is false when A is sequential.
+func (a *VA) SequentialityViolation() (model.Var, bool) {
+	v, seq := a.firstViolation(false)
+	return v, !seq
+}
+
+// firstViolation runs the per-variable status product. When functional is
+// true it additionally requires every accepting run to close the variable.
+// It returns the offending variable and whether the property holds.
+func (a *VA) firstViolation(functional bool) (model.Var, bool) {
+	if a.initial < 0 {
+		return 0, true
+	}
+	for used := a.UsedVars(); used != 0; used &= used - 1 {
+		v := model.Var(bits.TrailingZeros64(used))
+		if !a.statusProductOK(v, functional) {
+			return v, false
+		}
+	}
+	return 0, true
+}
+
+// statusProductOK explores the product of A with the status automaton for
+// variable v and checks that no reachable final configuration carries a bad
+// status.
+func (a *VA) statusProductOK(v model.Var, functional bool) bool {
+	n := a.NumStates()
+	seen := make([]uint8, n) // bitmask of statuses seen per state
+	type cfg struct {
+		q, s int
+	}
+	var stack []cfg
+	push := func(q, s int) bool {
+		bit := uint8(1) << s
+		if seen[q]&bit != 0 {
+			return true
+		}
+		seen[q] |= bit
+		if a.final[q] && badAtFinal(s, functional) {
+			return false
+		}
+		stack = append(stack, cfg{q, s})
+		return true
+	}
+	if !push(a.initial, stUnopened) {
+		return false
+	}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range a.letters[c.q] {
+			if !push(e.To, letterStatus(c.s)) {
+				return false
+			}
+		}
+		for _, e := range a.markers[c.q] {
+			s := c.s
+			if e.M.Var == v {
+				s = markerStatus(s, e.M.Close)
+			}
+			if !push(e.To, s) {
+				return false
+			}
+		}
+	}
+	return true
+}

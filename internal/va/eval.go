@@ -1,0 +1,137 @@
+package va
+
+import (
+	"spanners/internal/model"
+)
+
+// Eval computes ⟦A⟧d exhaustively: it explores every run of A over d whose
+// marker prefix is valid, and collects the mapping of each valid accepting
+// run, without duplicates. This is the reference semantics of Section 2
+// used as ground truth; its running time is exponential in the worst case
+// and it is intended for small inputs in tests and for the naive baseline.
+//
+// Validity follows the paper's positional definition: each variable is
+// opened at most once and closed at most once, and "x is opened at some
+// position i if and only if it is closed at some position j with i ≤ j".
+// In particular a run may close x and then open it through a later marker
+// transition at the same document position — the empty span [i, i⟩ — which
+// is exactly how extended VA treat a set containing both x$ and %x. This
+// positional reading is what makes the VA ↔ eVA translations of
+// Theorem 3.1 semantics-preserving.
+func (a *VA) Eval(d []byte) *model.MappingSet {
+	out := model.NewMappingSet()
+	if a.initial < 0 {
+		return out
+	}
+	e := newVAEvaluator(a, d)
+	e.collect = out
+	e.run(a.initial, 1)
+	return out
+}
+
+// CountRuns returns the number of valid accepting runs of A over d (not
+// the number of distinct mappings). The gap between the two is exactly
+// what Figure 2 of the paper illustrates and what makes naive enumeration
+// emit duplicates.
+func (a *VA) CountRuns(d []byte) int {
+	if a.initial < 0 {
+		return 0
+	}
+	e := newVAEvaluator(a, d)
+	e.run(a.initial, 1)
+	return e.runs
+}
+
+// vaEvaluator carries the DFS state: for each variable the positions where
+// it was opened and closed (0 = not yet), plus the number of variables in a
+// "half-assigned" state, which must be zero for the run to be valid at
+// acceptance time.
+type vaEvaluator struct {
+	a        *VA
+	d        []byte
+	collect  *model.MappingSet // nil when only counting runs
+	openPos  []int
+	closePos []int
+	half     int
+	runs     int
+}
+
+func newVAEvaluator(a *VA, d []byte) *vaEvaluator {
+	n := a.reg.Len()
+	return &vaEvaluator{a: a, d: d,
+		openPos:  make([]int, n),
+		closePos: make([]int, n),
+	}
+}
+
+func (e *vaEvaluator) accept() {
+	e.runs++
+	if e.collect == nil {
+		return
+	}
+	m := model.NewMapping(e.a.reg)
+	for v := range e.openPos {
+		if e.openPos[v] != 0 {
+			m.Assign(model.Var(v), model.Span{Start: e.openPos[v], End: e.closePos[v]})
+		}
+	}
+	e.collect.Add(m)
+}
+
+func (e *vaEvaluator) run(q, pos int) {
+	n := len(e.d)
+	if pos == n+1 && e.a.final[q] && e.half == 0 {
+		e.accept()
+		// A final state may still have outgoing transitions, so the
+		// search continues below.
+	}
+	if pos <= n {
+		c := e.d[pos-1]
+		for _, t := range e.a.letters[q] {
+			if t.Class.Has(c) {
+				e.run(t.To, pos+1)
+			}
+		}
+	}
+	for _, t := range e.a.markers[q] {
+		v := t.M.Var
+		if t.M.Close {
+			if e.closePos[v] != 0 {
+				continue // closing twice: invalid
+			}
+			if e.openPos[v] != 0 {
+				e.half-- // open met its close
+			} else {
+				e.half++ // close pending an open at this same position
+			}
+			e.closePos[v] = pos
+			e.run(t.To, pos)
+			e.closePos[v] = 0
+			if e.openPos[v] != 0 {
+				e.half++
+			} else {
+				e.half--
+			}
+		} else {
+			if e.openPos[v] != 0 {
+				continue // opening twice: invalid
+			}
+			if e.closePos[v] != 0 && e.closePos[v] != pos {
+				continue // the close happened at an earlier position
+			}
+			if e.closePos[v] != 0 {
+				e.half-- // close-then-open at the same position: [pos, pos⟩
+			} else {
+				e.half++
+			}
+			e.openPos[v] = pos
+			e.run(t.To, pos)
+			e.openPos[v] = 0
+			if e.closePos[v] != 0 {
+				e.half++
+			} else {
+				e.half--
+			}
+		}
+	}
+}

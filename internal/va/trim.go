@@ -1,0 +1,95 @@
+package va
+
+// Trim returns an equivalent automaton containing only useful states: those
+// reachable from the initial state and co-reachable to some final state.
+// Trimming matters for the size bounds of Section 4 — Lemma B.1, for
+// example, only holds for states "that can produce valid runs" — and keeps
+// the determinization and variable-path constructions from exploring dead
+// parts of the state space.
+func (a *VA) Trim() *VA {
+	n := a.NumStates()
+	if a.initial < 0 || n == 0 {
+		return New(a.reg)
+	}
+
+	reach := make([]bool, n)
+	var stack []int
+	reach[a.initial] = true
+	stack = append(stack, a.initial)
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range a.letters[q] {
+			if !reach[e.To] {
+				reach[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+		for _, e := range a.markers[q] {
+			if !reach[e.To] {
+				reach[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+
+	// Reverse adjacency for co-reachability.
+	rev := make([][]int, n)
+	for q := 0; q < n; q++ {
+		for _, e := range a.letters[q] {
+			rev[e.To] = append(rev[e.To], q)
+		}
+		for _, e := range a.markers[q] {
+			rev[e.To] = append(rev[e.To], q)
+		}
+	}
+	coreach := make([]bool, n)
+	for q := 0; q < n; q++ {
+		if a.final[q] && reach[q] {
+			coreach[q] = true
+			stack = append(stack, q)
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[q] {
+			if reach[p] && !coreach[p] {
+				coreach[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+
+	keep := make([]int, n)
+	out := New(a.reg)
+	for q := 0; q < n; q++ {
+		if reach[q] && coreach[q] {
+			keep[q] = out.AddState()
+		} else {
+			keep[q] = -1
+		}
+	}
+	// An automaton with an empty language still needs its initial state.
+	if keep[a.initial] == -1 {
+		keep[a.initial] = out.AddState()
+	}
+	out.SetInitial(keep[a.initial])
+	for q := 0; q < n; q++ {
+		if keep[q] == -1 {
+			continue
+		}
+		out.SetFinal(keep[q], a.final[q])
+		for _, e := range a.letters[q] {
+			if keep[e.To] != -1 {
+				out.AddLetter(keep[q], e.Class, keep[e.To])
+			}
+		}
+		for _, e := range a.markers[q] {
+			if keep[e.To] != -1 {
+				out.AddMarker(keep[q], e.M, keep[e.To])
+			}
+		}
+	}
+	return out
+}

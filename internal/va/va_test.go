@@ -1,0 +1,371 @@
+package va_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"spanners/internal/gen"
+	"spanners/internal/model"
+	"spanners/internal/va"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	reg := model.NewRegistry()
+	a := va.New(reg)
+	q0 := a.AddState()
+	q1 := a.AddState()
+	a.SetInitial(q0)
+	a.SetFinal(q1, true)
+	a.AddByte(q0, 'a', q1)
+	if err := a.AddOpen(q0, "x", q1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumStates() != 2 || a.NumTransitions() != 2 || a.Size() != 4 {
+		t.Fatalf("sizes: states=%d trans=%d size=%d", a.NumStates(), a.NumTransitions(), a.Size())
+	}
+	if got := a.Finals(); len(got) != 1 || got[0] != q1 {
+		t.Fatalf("Finals = %v", got)
+	}
+	if a.UsedVars() != 1 {
+		t.Fatalf("UsedVars = %b", a.UsedVars())
+	}
+}
+
+func TestEvalPlainRegexBehaviour(t *testing.T) {
+	// A VA with no variables acts as a boolean regex: the empty mapping
+	// iff the document is in the language.
+	reg := model.NewRegistry()
+	a := va.New(reg)
+	q0 := a.AddState()
+	q1 := a.AddState()
+	a.SetInitial(q0)
+	a.SetFinal(q1, true)
+	a.AddByte(q0, 'a', q1)
+	a.AddByte(q1, 'a', q0)
+
+	// Odd number of a's accepted.
+	if got := a.Eval([]byte("a")).Len(); got != 1 {
+		t.Fatalf("⟦A⟧a size = %d, want 1 (empty mapping)", got)
+	}
+	if got := a.Eval([]byte("aa")).Len(); got != 0 {
+		t.Fatalf("⟦A⟧aa size = %d, want 0", got)
+	}
+	if !a.Eval([]byte("a")).ContainsKey("") {
+		t.Fatal("expected the empty mapping")
+	}
+}
+
+func TestEvalSingleCapture(t *testing.T) {
+	// x{a} ⋅ Σ*: capture a leading 'a'.
+	reg := model.NewRegistry()
+	a := va.New(reg)
+	q0 := a.AddState()
+	q1 := a.AddState()
+	q2 := a.AddState()
+	q3 := a.AddState()
+	a.SetInitial(q0)
+	a.SetFinal(q3, true)
+	if err := a.AddOpen(q0, "x", q1); err != nil {
+		t.Fatal(err)
+	}
+	a.AddByte(q1, 'a', q2)
+	if err := a.AddClose(q2, "x", q3); err != nil {
+		t.Fatal(err)
+	}
+	a.AddLetter(q3, model.AnyByte(), q3)
+
+	got := a.Eval([]byte("ab"))
+	if got.Len() != 1 || !got.ContainsKey("x=[1,2)") {
+		t.Fatalf("⟦A⟧ab = %v", got)
+	}
+	if a.Eval([]byte("ba")).Len() != 0 {
+		t.Fatal("no match expected on ba")
+	}
+}
+
+func TestFigure2DuplicateRuns(t *testing.T) {
+	a := gen.Figure2VA()
+	if !a.IsFunctional() {
+		t.Fatal("Figure 2 automaton is functional")
+	}
+	if !a.IsSequential() {
+		t.Fatal("functional implies sequential")
+	}
+	d := []byte("a")
+	// Two accepting runs (x before y, y before x) …
+	if runs := a.CountRuns(d); runs != 2 {
+		t.Fatalf("CountRuns = %d, want 2", runs)
+	}
+	// … but a single output mapping: x = y = [1, 2⟩.
+	out := a.Eval(d)
+	if out.Len() != 1 || !out.ContainsKey("x=[1,2)|y=[1,2)") {
+		t.Fatalf("⟦A⟧a = %v", out)
+	}
+}
+
+func TestChecksOnFigure7(t *testing.T) {
+	a := gen.Figure7VA(3)
+	if a.NumStates() != 3*3+2 {
+		t.Fatalf("states = %d, want 11", a.NumStates())
+	}
+	if a.NumTransitions() != 4*3+1 {
+		t.Fatalf("transitions = %d, want 13", a.NumTransitions())
+	}
+	if !a.IsSequential() {
+		t.Fatal("Figure 7 automaton is sequential")
+	}
+	if a.IsFunctional() {
+		t.Fatal("Figure 7 automaton is not functional: each run uses only one of xi, yi")
+	}
+	// 2^3 runs choose one of {xi, yi} per block.
+	if got := a.Eval([]byte("a")).Len(); got != 8 {
+		t.Fatalf("⟦A⟧a size = %d, want 8", got)
+	}
+}
+
+func TestNonSequentialDetection(t *testing.T) {
+	// q0 --x$--> q1(final): x opened but never closed.
+	reg := model.NewRegistry()
+	a := va.New(reg)
+	q0 := a.AddState()
+	q1 := a.AddState()
+	a.SetInitial(q0)
+	a.SetFinal(q1, true)
+	if err := a.AddOpen(q0, "x", q1); err != nil {
+		t.Fatal(err)
+	}
+	if a.IsSequential() {
+		t.Fatal("dangling open must not be sequential")
+	}
+	if v, bad := a.SequentialityViolation(); !bad || a.Registry().Name(v) != "x" {
+		t.Fatalf("violation = %v %v", v, bad)
+	}
+
+	// Double open on a loop.
+	b := va.New(model.NewRegistry())
+	p0 := b.AddState()
+	p1 := b.AddState()
+	b.SetInitial(p0)
+	b.SetFinal(p1, true)
+	if err := b.AddOpen(p0, "x", p0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddClose(p0, "x", p1); err != nil {
+		t.Fatal(err)
+	}
+	if b.IsSequential() {
+		t.Fatal("loop reopening x must not be sequential")
+	}
+}
+
+func TestSequentialButClosedEverywhere(t *testing.T) {
+	// Opening and closing on separate branches that never both reach the
+	// final state keeps the automaton sequential.
+	reg := model.NewRegistry()
+	a := va.New(reg)
+	q0 := a.AddState()
+	q1 := a.AddState()
+	q2 := a.AddState()
+	a.SetInitial(q0)
+	a.SetFinal(q2, true)
+	if err := a.AddOpen(q0, "x", q1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddClose(q1, "x", q2); err != nil {
+		t.Fatal(err)
+	}
+	a.AddByte(q0, 'a', q2) // a run not using x at all
+	if !a.IsSequential() {
+		t.Fatal("should be sequential")
+	}
+	if a.IsFunctional() {
+		t.Fatal("run through the letter edge skips x, so not functional")
+	}
+}
+
+func TestTrim(t *testing.T) {
+	reg := model.NewRegistry()
+	a := va.New(reg)
+	q0 := a.AddState()
+	q1 := a.AddState()
+	dead := a.AddState()    // reachable, cannot reach final
+	unreach := a.AddState() // unreachable
+	a.SetInitial(q0)
+	a.SetFinal(q1, true)
+	a.AddByte(q0, 'a', q1)
+	a.AddByte(q0, 'b', dead)
+	a.AddByte(unreach, 'a', q1)
+
+	tr := a.Trim()
+	if tr.NumStates() != 2 {
+		t.Fatalf("trimmed states = %d, want 2", tr.NumStates())
+	}
+	if !tr.Eval([]byte("a")).Equal(a.Eval([]byte("a"))) {
+		t.Fatal("trim must preserve semantics")
+	}
+	if tr.Eval([]byte("b")).Len() != 0 {
+		t.Fatal("dead branch must stay dead")
+	}
+}
+
+func TestTrimEmptyLanguage(t *testing.T) {
+	reg := model.NewRegistry()
+	a := va.New(reg)
+	q0 := a.AddState()
+	a.AddState()
+	a.SetInitial(q0)
+	// No final states at all.
+	tr := a.Trim()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Eval([]byte("a")).Len() != 0 {
+		t.Fatal("empty language expected")
+	}
+}
+
+func TestToExtendedPreservesSemantics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		a    *va.VA
+		docs []string
+	}{
+		{"figure2", gen.Figure2VA(), []string{"", "a", "aa", "aaa"}},
+		{"figure7", gen.Figure7VA(2), []string{"", "a", "aa"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			e := tc.a.ToExtended()
+			if err := e.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range tc.docs {
+				want := tc.a.Eval([]byte(d))
+				got := e.Eval([]byte(d))
+				if !got.Equal(want) {
+					t.Fatalf("doc %q: eVA disagrees with VA:\n%v", d, want.Diff(got, 5))
+				}
+			}
+		})
+	}
+}
+
+func TestToExtendedPreservesProperties(t *testing.T) {
+	f2 := gen.Figure2VA().ToExtended()
+	if !f2.IsFunctional() || !f2.IsSequential() {
+		t.Fatal("Theorem 3.1: functionality must be preserved")
+	}
+	f7 := gen.Figure7VA(2).ToExtended()
+	if !f7.IsSequential() {
+		t.Fatal("Theorem 3.1: sequentiality must be preserved")
+	}
+}
+
+func TestProp42Blowup(t *testing.T) {
+	// Proposition 4.2: the Figure 7 family needs at least 2^ℓ extended
+	// transitions. Our variable-path construction produces exactly the
+	// reachable combinations; check the lower bound and the exact count
+	// between the initial chain state and the last.
+	for l := 1; l <= 6; l++ {
+		a := gen.Figure7VA(l)
+		e := a.ToExtended()
+		// Each of the 2^ℓ subsets {x_i or y_i chosen per block} labels a
+		// distinct full path from state 0 to the pre-final chain state;
+		// partial paths add more. The bound is on full paths alone.
+		want := 1 << l
+		if got := e.NumCaptureTransitions(); got < want {
+			t.Fatalf("ℓ=%d: capture transitions = %d, want ≥ %d", l, got, want)
+		}
+	}
+}
+
+func TestFromExtendedRoundTrip(t *testing.T) {
+	e := gen.Figure3EVA()
+	a := va.FromExtended(e)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []string{"", "a", "ab", "aab", "abab", "b"} {
+		want := e.Eval([]byte(d))
+		got := a.Eval([]byte(d))
+		if !got.Equal(want) {
+			t.Fatalf("doc %q: VA disagrees with eVA:\n%v", d, want.Diff(got, 5))
+		}
+	}
+	if !a.IsFunctional() {
+		t.Fatal("conversion must preserve functionality")
+	}
+}
+
+func TestRoundTripVAToEVAToVA(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 30; i++ {
+		a := gen.RandomVA(rng, 2+rng.Intn(4), 1+rng.Intn(2), "ab")
+		e := a.ToExtended()
+		back := va.FromExtended(e)
+		for _, d := range []string{"", "a", "b", "ab", "ba", "aab"} {
+			want := a.Eval([]byte(d))
+			if got := e.Eval([]byte(d)); !got.Equal(want) {
+				t.Fatalf("case %d doc %q: ToExtended changed semantics:\nVA:\n%s\n%v",
+					i, d, a, want.Diff(got, 5))
+			}
+			if got := back.Eval([]byte(d)); !got.Equal(want) {
+				t.Fatalf("case %d doc %q: FromExtended changed semantics:\n%v",
+					i, d, want.Diff(got, 5))
+			}
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := gen.Figure2VA()
+	c := a.Clone()
+	c.AddState()
+	if a.NumStates() == c.NumStates() {
+		t.Fatal("clone must be independent")
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	s := gen.Figure2VA().String()
+	if len(s) == 0 {
+		t.Fatal("String should render something")
+	}
+	for _, frag := range []string{"x$", "%x", "y$", "%y", "a"} {
+		if !containsStr(s, frag) {
+			t.Fatalf("String output missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestValidateCatchesBadEdges(t *testing.T) {
+	reg := model.NewRegistry()
+	a := va.New(reg)
+	q0 := a.AddState()
+	a.SetInitial(q0)
+	var empty model.ByteSet
+	a.AddLetter(q0, empty, q0)
+	if err := a.Validate(); err == nil {
+		t.Fatal("empty class must fail validation")
+	}
+}
+
+func ExampleVA_Eval() {
+	a := gen.Figure2VA()
+	out := a.Eval([]byte("a"))
+	fmt.Println(out)
+	// Output:
+	// x=[1,2)|y=[1,2)
+}
