@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spanners/internal/gen"
+)
+
+func runCLI(t *testing.T, stdin string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func writeTemp(t *testing.T, name string, data []byte) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCLIFigure1Text(t *testing.T) {
+	f := writeTemp(t, "doc.txt", gen.Figure1Doc())
+	out, _, code := runCLI(t, "", gen.Figure1Pattern(), f)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; out:\n%s", code, out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), out)
+	}
+	joined := out
+	for _, want := range []string{`name=[0,4) "John"`, `email=[6,12) "j@g.be"`, `name=[15,19) "Jane"`, `phone=[21,27) "555-12"`} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIStdinAndCount(t *testing.T) {
+	out, _, code := runCLI(t, string(gen.Figure1Doc()), "-count", gen.Figure1Pattern())
+	if code != 0 || strings.TrimSpace(out) != "2" {
+		t.Fatalf("count via stdin = %q (exit %d), want 2", out, code)
+	}
+}
+
+func TestCLIJSON(t *testing.T) {
+	out, _, code := runCLI(t, string(gen.Figure1Doc()), "-json", gen.Figure1Pattern())
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	dec := json.NewDecoder(strings.NewReader(out))
+	matches := 0
+	sawEmail := false
+	for dec.More() {
+		var row struct {
+			File  string `json:"file"`
+			Spans map[string]struct {
+				Start int    `json:"start"`
+				End   int    `json:"end"`
+				Text  string `json:"text"`
+			} `json:"spans"`
+		}
+		if err := dec.Decode(&row); err != nil {
+			t.Fatalf("bad NDJSON: %v\n%s", err, out)
+		}
+		matches++
+		if e, ok := row.Spans["email"]; ok {
+			sawEmail = true
+			if e.Start != 6 || e.End != 12 || e.Text != "j@g.be" {
+				t.Fatalf("email span wrong: %+v", e)
+			}
+		}
+	}
+	if matches != 2 || !sawEmail {
+		t.Fatalf("matches = %d (email seen %v), want 2 with email", matches, sawEmail)
+	}
+}
+
+func TestCLIMultiFilePrefixAndLazy(t *testing.T) {
+	f1 := writeTemp(t, "a.txt", gen.Figure1Doc())
+	f2 := writeTemp(t, "b.txt", []byte("nothing"))
+	out, stderr, code := runCLI(t, "", "-lazy", "-stats", "-count", gen.Figure1Pattern(), f1, f2)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, f1+":2") || !strings.Contains(out, f2+":0") {
+		t.Fatalf("per-file counts wrong:\n%s", out)
+	}
+	if !strings.Contains(stderr, "mode:           lazy") || !strings.Contains(stderr, "det states discovered") {
+		t.Fatalf("stats output wrong:\n%s", stderr)
+	}
+}
+
+func TestCLILimitAndNoMatchStatus(t *testing.T) {
+	out, _, code := runCLI(t, "abcdef", "-limit", "2", `.*!w{[a-z]}.*`)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if n := len(strings.Split(strings.TrimSpace(out), "\n")); n != 2 {
+		t.Fatalf("limit ignored: %d lines", n)
+	}
+
+	_, _, code = runCLI(t, "12345", `.*!w{[a-z]}.*`)
+	if code != 1 {
+		t.Fatalf("no-match exit = %d, want 1", code)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	_, stderr, code := runCLI(t, "", "(")
+	if code != 2 || !strings.Contains(stderr, "parse error") {
+		t.Fatalf("bad pattern: exit %d, stderr %q", code, stderr)
+	}
+	_, _, code = runCLI(t, "")
+	if code != 2 {
+		t.Fatalf("missing pattern: exit %d, want 2", code)
+	}
+	_, stderr, code = runCLI(t, "", "a", "/nonexistent/file/path")
+	if code != 2 || !strings.Contains(stderr, "no such file") {
+		t.Fatalf("missing file: exit %d, stderr %q", code, stderr)
+	}
+}

@@ -1,0 +1,3 @@
+module spanners
+
+go 1.24.0

@@ -1,0 +1,89 @@
+package eva
+
+import (
+	"errors"
+	"fmt"
+
+	"spanners/internal/model"
+)
+
+// Compiled is the dense-dispatch form of a deterministic eVA: per state a
+// 256-entry next-state row, flattened into one contiguous table, so that a
+// letter transition costs a single array load instead of EVA.Step's linear
+// scan over class edges. The automaton is immutable after construction and
+// therefore safe for concurrent evaluation — the representation the
+// compile-once/evaluate-many facade hands out for the strict path.
+//
+// The table spends 1 KiB per state. That is the right trade for strict
+// determinization, where the state set is materialized up front anyway; the
+// lazy path keeps the per-state [256]int32 rows inside Lazy instead, filled
+// on demand.
+type Compiled struct {
+	reg       *model.Registry
+	initial   int
+	accepting []bool
+	// next[q<<8|c] is δ(q, c), or -1 when undefined.
+	next     []int32
+	captures [][]model.Capture
+}
+
+// CompileDense builds the dense form of a. It fails unless a validates and
+// is deterministic — with overlapping class edges the table could only keep
+// one target, silently changing the semantics.
+func (a *EVA) CompileDense() (*Compiled, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if !a.IsDeterministic() {
+		return nil, errors.New("eva: CompileDense requires a deterministic automaton")
+	}
+	n := a.NumStates()
+	if n > 1<<23 {
+		return nil, fmt.Errorf("eva: CompileDense: %d states exceed the dense-table limit", n)
+	}
+	c := &Compiled{
+		reg:       a.reg,
+		initial:   a.initial,
+		accepting: append([]bool(nil), a.final...),
+		next:      make([]int32, n*256),
+		captures:  make([][]model.Capture, n),
+	}
+	for i := range c.next {
+		c.next[i] = -1
+	}
+	for q := 0; q < n; q++ {
+		row := c.next[q<<8 : q<<8+256]
+		for _, e := range a.letters[q] {
+			for _, b := range e.Class.Bytes() {
+				row[b] = int32(e.To)
+			}
+		}
+		c.captures[q] = append([]model.Capture(nil), a.captures[q]...)
+	}
+	return c, nil
+}
+
+// Initial returns the initial state.
+func (c *Compiled) Initial() int { return c.initial }
+
+// Step returns δ(q, ch) with a single table load.
+func (c *Compiled) Step(q int, ch byte) (int, bool) {
+	t := c.next[q<<8|int(ch)]
+	return int(t), t >= 0
+}
+
+// Captures returns the extended variable transitions leaving q; shared
+// slice, do not mutate.
+func (c *Compiled) Captures(q int) []model.Capture { return c.captures[q] }
+
+// Accepting reports whether q ∈ F.
+func (c *Compiled) Accepting(q int) bool { return c.accepting[q] }
+
+// Registry returns the variable registry of the automaton.
+func (c *Compiled) Registry() *model.Registry { return c.reg }
+
+// NumStates returns |Q|.
+func (c *Compiled) NumStates() int { return len(c.accepting) }
+
+// TableBytes returns the size of the dense transition table in bytes.
+func (c *Compiled) TableBytes() int { return len(c.next) * 4 }

@@ -1,0 +1,76 @@
+package eva_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"spanners/internal/eva"
+	"spanners/internal/gen"
+	"spanners/internal/model"
+)
+
+func TestCompileDenseRejectsNondeterministic(t *testing.T) {
+	reg := model.NewRegistry()
+	a := eva.New(reg)
+	q0 := a.AddState()
+	q1 := a.AddState()
+	a.SetInitial(q0)
+	a.SetFinal(q1, true)
+	a.AddByte(q0, 'a', q0)
+	a.AddByte(q0, 'a', q1)
+	if _, err := a.CompileDense(); err == nil {
+		t.Fatal("overlapping byte classes must be rejected")
+	}
+}
+
+func TestCompileDenseStepMatchesScan(t *testing.T) {
+	a := gen.Figure3EVA()
+	c, err := a.CompileDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Initial() != a.Initial() || c.NumStates() != a.NumStates() {
+		t.Fatal("shape mismatch")
+	}
+	if c.TableBytes() != a.NumStates()*1024 {
+		t.Fatalf("TableBytes = %d, want %d", c.TableBytes(), a.NumStates()*1024)
+	}
+	for q := 0; q < a.NumStates(); q++ {
+		if c.Accepting(q) != a.Accepting(q) {
+			t.Fatalf("finality mismatch at %d", q)
+		}
+		if len(c.Captures(q)) != len(a.Captures(q)) {
+			t.Fatalf("captures mismatch at %d", q)
+		}
+		for ch := 0; ch < 256; ch++ {
+			wantTo, wantOK := a.Step(q, byte(ch))
+			gotTo, gotOK := c.Step(q, byte(ch))
+			if wantOK != gotOK || (wantOK && wantTo != gotTo) {
+				t.Fatalf("Step(%d, %q): dense %d %v, scan %d %v",
+					q, byte(ch), gotTo, gotOK, wantTo, wantOK)
+			}
+		}
+	}
+}
+
+func TestCompileDenseRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 30; i++ {
+		v := gen.RandomVA(rng, 2+rng.Intn(4), 1+rng.Intn(2), "ab")
+		e := v.ToExtended()
+		d := e.Determinize().Sequentialize()
+		c, err := d.CompileDense()
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		for q := 0; q < d.NumStates(); q++ {
+			for _, ch := range []byte{'a', 'b', 'z', 0, 255} {
+				wantTo, wantOK := d.Step(q, ch)
+				gotTo, gotOK := c.Step(q, ch)
+				if wantOK != gotOK || (wantOK && wantTo != gotTo) {
+					t.Fatalf("case %d Step(%d, %q) mismatch", i, q, ch)
+				}
+			}
+		}
+	}
+}

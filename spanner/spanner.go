@@ -1,0 +1,320 @@
+// Package spanner is the public facade of this repository: it compiles a
+// regex formula once into a reusable document spanner and evaluates it over
+// many documents with the constant-delay algorithms of "Constant delay
+// algorithms for regular document spanners" (Florenzano, Riveros, Ugarte,
+// Vansummeren, Vrgoč, PODS 2018).
+//
+// Compile runs the whole pipeline — parse → variable-set automaton
+// (Thompson + ε-elimination) → extended VA (Theorem 3.1) → trim →
+// sequentialize if needed (Proposition 4.1) → determinize (Proposition
+// 3.2) — exactly once. The returned *Spanner is goroutine-safe and
+// amortizes compilation across documents:
+//
+//	s, err := spanner.Compile(`.*!user{[a-z]+}@!host{[a-z.]+}.*`)
+//	...
+//	for m := range s.All(doc) {
+//	    span, _ := m.Span("user")
+//	    text, _ := m.Text("user")
+//	    ...
+//	}
+//
+// Two determinization strategies are available. The default strict mode
+// (WithStrict) materializes the full deterministic automaton and compiles
+// it to a dense 256-entry-per-state dispatch table, making the per-byte
+// scan cost a single array load. Lazy mode (WithLazy) determinizes on the
+// fly, minting subset states only as documents demand them — the closing
+// remark of Section 4 — which avoids the 2^n worst case for automata whose
+// reachable subset space is large but rarely touched.
+package spanner
+
+import (
+	"iter"
+	"math/big"
+	"sync"
+	"time"
+
+	"spanners/internal/core"
+	"spanners/internal/eva"
+	"spanners/internal/rgx"
+)
+
+// Mode selects the determinization strategy fixed at Compile time.
+type Mode int
+
+const (
+	// ModeStrict materializes the deterministic automaton at Compile time
+	// and evaluates it through a dense next-state table.
+	ModeStrict Mode = iota
+	// ModeLazy determinizes on the fly during evaluation, minting subset
+	// states as documents reach them and memoizing them across documents.
+	ModeLazy
+)
+
+// String returns "strict" or "lazy".
+func (m Mode) String() string {
+	if m == ModeLazy {
+		return "lazy"
+	}
+	return "strict"
+}
+
+// Option configures Compile.
+type Option func(*config)
+
+type config struct {
+	mode Mode
+}
+
+// WithStrict selects strict (ahead-of-time) determinization; the default.
+func WithStrict() Option { return func(c *config) { c.mode = ModeStrict } }
+
+// WithLazy selects lazy (on-the-fly) determinization.
+func WithLazy() Option { return func(c *config) { c.mode = ModeLazy } }
+
+// WithMode selects the determinization mode explicitly.
+func WithMode(m Mode) Option { return func(c *config) { c.mode = m } }
+
+// Stats describes the compiled pipeline: the sizes of the intermediate
+// automata and the cost of the chosen determinization strategy.
+type Stats struct {
+	Pattern string
+	// Vars are the capture variables in registry order.
+	Vars []string
+	Mode Mode
+	// Sequentialized reports whether the Proposition 4.1 status product was
+	// needed (the eVA compiled from the pattern was not sequential).
+	Sequentialized bool
+	// VAStates/VATransitions measure the ε-free VA compiled from the
+	// pattern; EVAStates/EVATransitions the sequential eVA actually
+	// determinized.
+	VAStates, VATransitions   int
+	EVAStates, EVATransitions int
+	// DetStates is the number of deterministic subset states: the full
+	// count in strict mode, the number discovered so far in lazy mode.
+	DetStates int
+	// DenseTableBytes is the size of the strict path's next-state table;
+	// zero in lazy mode.
+	DenseTableBytes int
+	CompileTime     time.Duration
+}
+
+// Spanner is a compiled document spanner. It is immutable from the caller's
+// perspective and safe for concurrent use by multiple goroutines; in lazy
+// mode the on-the-fly determinizer is shared under a mutex, so concurrent
+// evaluations serialize their preprocessing phases (enumeration of the
+// resulting matches proceeds in parallel).
+type Spanner struct {
+	pattern string
+	mode    Mode
+	vars    []string
+	stats   Stats
+
+	dense *eva.Compiled // strict path; nil in lazy mode
+
+	mu   sync.Mutex // guards lazy, whose memo tables mutate during evaluation
+	lazy *eva.Lazy  // lazy path; nil in strict mode
+}
+
+// Compile parses pattern and compiles it into a reusable Spanner.
+func Compile(pattern string, opts ...Option) (*Spanner, error) {
+	n, err := rgx.Parse(pattern)
+	if err != nil {
+		return nil, err
+	}
+	s, err := CompileNode(n, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.pattern = pattern
+	s.stats.Pattern = pattern
+	return s, nil
+}
+
+// MustCompile is Compile but panics on error; for tests and fixed patterns.
+func MustCompile(pattern string, opts ...Option) *Spanner {
+	s, err := Compile(pattern, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// CompileNode compiles an already-parsed regex formula.
+func CompileNode(n rgx.Node, opts ...Option) (*Spanner, error) {
+	start := time.Now()
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	v, err := rgx.Compile(n)
+	if err != nil {
+		return nil, err
+	}
+	seq, sequentialized := sequentialEVA(v.ToExtended())
+	s := &Spanner{
+		pattern: n.String(),
+		mode:    cfg.mode,
+		vars:    seq.Registry().Names(),
+		stats: Stats{
+			Pattern:        n.String(),
+			Vars:           seq.Registry().Names(),
+			Mode:           cfg.mode,
+			Sequentialized: sequentialized,
+			VAStates:       v.NumStates(),
+			VATransitions:  v.NumTransitions(),
+			EVAStates:      seq.NumStates(),
+			EVATransitions: seq.NumTransitions(),
+		},
+	}
+	switch cfg.mode {
+	case ModeLazy:
+		s.lazy = eva.NewLazy(seq)
+	default:
+		det := seq.Determinize()
+		dense, err := det.CompileDense()
+		if err != nil {
+			return nil, err
+		}
+		s.dense = dense
+		s.stats.DetStates = det.NumStates()
+		s.stats.DenseTableBytes = dense.TableBytes()
+	}
+	s.stats.CompileTime = time.Since(start)
+	return s, nil
+}
+
+// sequentialEVA trims the eVA and, when it is not already sequential, takes
+// the Proposition 4.1 status product. The result is the automaton both
+// determinization strategies start from.
+func sequentialEVA(e *eva.EVA) (seq *eva.EVA, sequentialized bool) {
+	e = e.Trim()
+	if e.IsSequential() {
+		return e, false
+	}
+	return e.Sequentialize().Trim(), true
+}
+
+// Pipeline compiles pattern all the way to the deterministic sequential eVA
+// that strict-mode spanners evaluate. It is the single owner of the
+// pipeline order; the internal test suites build on it when they need the
+// raw automaton for core.Evaluate rather than the facade.
+func Pipeline(pattern string) (*eva.EVA, error) {
+	n, err := rgx.Parse(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return PipelineNode(n)
+}
+
+// PipelineNode is Pipeline over an already-parsed formula.
+func PipelineNode(n rgx.Node) (*eva.EVA, error) {
+	v, err := rgx.Compile(n)
+	if err != nil {
+		return nil, err
+	}
+	seq, _ := sequentialEVA(v.ToExtended())
+	return seq.Determinize(), nil
+}
+
+// Pattern returns the source pattern.
+func (s *Spanner) Pattern() string { return s.pattern }
+
+// String returns the source pattern.
+func (s *Spanner) String() string { return s.pattern }
+
+// Vars returns the capture variable names in registry order. The slice is
+// shared; do not mutate.
+func (s *Spanner) Vars() []string { return s.vars }
+
+// Mode returns the determinization mode fixed at Compile time.
+func (s *Spanner) Mode() Mode { return s.mode }
+
+// Stats returns the pipeline statistics. In lazy mode DetStates reflects
+// the subset states discovered so far, so it grows as documents are
+// evaluated.
+func (s *Spanner) Stats() Stats {
+	st := s.stats
+	if s.lazy != nil {
+		s.mu.Lock()
+		st.DetStates = s.lazy.StatesDiscovered()
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// evaluate runs the Algorithm 1 preprocessing phase over doc.
+func (s *Spanner) evaluate(doc []byte) *core.Result {
+	if s.lazy != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return core.Evaluate(s.lazy, doc)
+	}
+	return core.Evaluate(s.dense, doc)
+}
+
+// Iterator preprocesses doc (one O(|A|·|doc|) pass) and returns a pull
+// iterator whose Next yields successive matches with O(ℓ) delay — constant
+// in the document. The *Match returned by Next is a scratch buffer reused
+// across calls; Clone it to retain it.
+func (s *Spanner) Iterator(doc []byte) *Iterator {
+	res := s.evaluate(doc)
+	return &Iterator{
+		it: res.Iterator(),
+		m:  newMatch(doc, s.vars, res.Registry()),
+	}
+}
+
+// Enumerate preprocesses doc and streams every match to yield, stopping
+// early when yield returns false. The *Match passed to yield is reused
+// across calls; Clone it to retain it.
+func (s *Spanner) Enumerate(doc []byte, yield func(*Match) bool) {
+	it := s.Iterator(doc)
+	for {
+		m, ok := it.Next()
+		if !ok {
+			return
+		}
+		if !yield(m) {
+			return
+		}
+	}
+}
+
+// All returns a range-over-func iterator over the matches in doc:
+//
+//	for m := range s.All(doc) { ... }
+//
+// The *Match is reused across iterations; Clone it to retain it.
+func (s *Spanner) All(doc []byte) iter.Seq[*Match] {
+	return func(yield func(*Match) bool) { s.Enumerate(doc, yield) }
+}
+
+// Count returns |⟦A⟧doc| in O(|A|·|doc|) without enumerating (Theorem 5.1).
+// exact is false when the count overflowed uint64; use CountBig then.
+func (s *Spanner) Count(doc []byte) (count uint64, exact bool) {
+	if s.lazy != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return core.Count(s.lazy, doc)
+	}
+	return core.Count(s.dense, doc)
+}
+
+// CountBig is Count with arbitrary-precision arithmetic.
+func (s *Spanner) CountBig(doc []byte) *big.Int {
+	if s.lazy != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return core.CountBig(s.lazy, doc)
+	}
+	return core.CountBig(s.dense, doc)
+}
+
+// IsEmpty reports whether doc has no matches. It runs the counting pass,
+// which needs only O(states) memory, rather than materializing the
+// enumeration DAG.
+func (s *Spanner) IsEmpty(doc []byte) bool {
+	n, exact := s.Count(doc)
+	// An inexact count overflowed uint64, so it is certainly non-zero.
+	return exact && n == 0
+}

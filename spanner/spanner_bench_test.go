@@ -1,0 +1,171 @@
+package spanner_test
+
+// Benchmarks for the compile-once/evaluate-many pipeline, comparing
+//
+//   - dense dispatch (Compiled's 256-entry next-state table) against the
+//     interface Step path (EVA's linear class-edge scan) on document-scan
+//     throughput (MB/s), and
+//   - strict against lazy determinization on scan throughput, per-result
+//     enumeration delay, and compile time.
+//
+// scripts/bench.sh runs these and records the numbers in
+// BENCH_spanner.json.
+
+import (
+	"testing"
+
+	"spanners/internal/core"
+	"spanners/internal/eva"
+	"spanners/internal/gen"
+	"spanners/internal/rgx"
+	"spanners/spanner"
+)
+
+// benchAutomata builds the three evaluation backends for one pattern: the
+// strict deterministic eVA (interface Step path), its dense-compiled form,
+// and a lazy on-the-fly determinizer over the same sequential eVA.
+func benchAutomata(tb testing.TB, pattern string) (det *eva.EVA, dense *eva.Compiled, lazy *eva.Lazy) {
+	tb.Helper()
+	n, err := rgx.Parse(pattern)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	v, err := rgx.Compile(n)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	seq := v.ToExtended().Trim()
+	if !seq.IsSequential() {
+		seq = seq.Sequentialize().Trim()
+	}
+	det = seq.Determinize()
+	dense, err = det.CompileDense()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return det, dense, eva.NewLazy(seq)
+}
+
+func benchScanDoc() []byte { return gen.Contacts(2000, 7) }
+
+// BenchmarkEvaluateThroughput measures the Algorithm 1 preprocessing pass
+// (the per-byte hot loop) over a ~45 KB contacts document.
+func BenchmarkEvaluateThroughput(b *testing.B) {
+	det, dense, lazy := benchAutomata(b, gen.Figure1Pattern())
+	doc := benchScanDoc()
+	run := func(b *testing.B, a core.Automaton) {
+		b.SetBytes(int64(len(doc)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.Evaluate(a, doc)
+		}
+	}
+	b.Run("dense", func(b *testing.B) { run(b, dense) })
+	b.Run("classscan", func(b *testing.B) { run(b, det) })
+	b.Run("lazy", func(b *testing.B) { run(b, lazy) })
+}
+
+var stepSink int
+
+// BenchmarkStepDispatch isolates the per-byte letter-transition cost that
+// the dense table replaces: it replays the document through Step alone,
+// restarting at the initial state when a run dies. EVA.Step scans the class
+// edges of the state linearly; Compiled.Step is a single array load.
+func BenchmarkStepDispatch(b *testing.B) {
+	det, dense, _ := benchAutomata(b, gen.Figure1Pattern())
+	doc := benchScanDoc()
+	run := func(b *testing.B, a core.Automaton) {
+		b.SetBytes(int64(len(doc)))
+		q0 := a.Initial()
+		for i := 0; i < b.N; i++ {
+			q := q0
+			for _, c := range doc {
+				t, ok := a.Step(q, c)
+				if !ok {
+					t = q0
+				}
+				q = t
+			}
+			stepSink = q
+		}
+	}
+	b.Run("dense", func(b *testing.B) { run(b, dense) })
+	b.Run("classscan", func(b *testing.B) { run(b, det) })
+}
+
+// BenchmarkCountThroughput measures the Algorithm 3 counting pass, which
+// shares the two-procedure loop but keeps only per-state counts.
+func BenchmarkCountThroughput(b *testing.B) {
+	det, dense, lazy := benchAutomata(b, gen.Figure1Pattern())
+	doc := benchScanDoc()
+	run := func(b *testing.B, a core.Automaton) {
+		b.SetBytes(int64(len(doc)))
+		for i := 0; i < b.N; i++ {
+			core.Count(a, doc)
+		}
+	}
+	b.Run("dense", func(b *testing.B) { run(b, dense) })
+	b.Run("classscan", func(b *testing.B) { run(b, det) })
+	b.Run("lazy", func(b *testing.B) { run(b, lazy) })
+}
+
+// BenchmarkEnumerationDelay measures the per-result delay of Algorithm 2 on
+// the nested-variable workload (quadratically many outputs), after the
+// preprocessing pass has run: each op is one Next() call.
+func BenchmarkEnumerationDelay(b *testing.B) {
+	det, dense, lazy := benchAutomata(b, gen.NestedPattern(2))
+	doc := gen.RandomDoc(64, "ab", 1)
+	run := func(b *testing.B, a core.Automaton) {
+		res := core.Evaluate(a, doc)
+		it := res.Iterator()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := it.Next(); !ok {
+				it = res.Iterator()
+			}
+		}
+	}
+	b.Run("dense", func(b *testing.B) { run(b, dense) })
+	b.Run("classscan", func(b *testing.B) { run(b, det) })
+	b.Run("lazy", func(b *testing.B) { run(b, lazy) })
+}
+
+// BenchmarkCompile measures the one-time cost the facade amortizes across
+// documents: strict pays determinization plus the dense table up front,
+// lazy defers subset construction to evaluation.
+func BenchmarkCompile(b *testing.B) {
+	pattern := gen.Figure1Pattern()
+	b.Run("strict", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := spanner.Compile(pattern, spanner.WithStrict()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lazy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := spanner.Compile(pattern, spanner.WithLazy()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFacadeEnumerate exercises the whole public path — preprocessing
+// plus full enumeration through the Match scratch buffer — per document.
+func BenchmarkFacadeEnumerate(b *testing.B) {
+	doc := benchScanDoc()
+	for _, mode := range []spanner.Mode{spanner.ModeStrict, spanner.ModeLazy} {
+		s := spanner.MustCompile(gen.Figure1Pattern(), spanner.WithMode(mode))
+		b.Run(mode.String(), func(b *testing.B) {
+			b.SetBytes(int64(len(doc)))
+			for i := 0; i < b.N; i++ {
+				n := 0
+				s.Enumerate(doc, func(*spanner.Match) bool { n++; return true })
+				if n == 0 {
+					b.Fatal("no matches")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,242 @@
+package spanner_test
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"spanners/internal/gen"
+	"spanners/spanner"
+)
+
+// collectKeys materializes the canonical keys of all matches of doc.
+func collectKeys(s *spanner.Spanner, doc []byte) []string {
+	var out []string
+	s.Enumerate(doc, func(m *spanner.Match) bool {
+		out = append(out, m.Key())
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := spanner.Compile("("); err == nil {
+		t.Fatal("parse error must surface")
+	}
+	if _, err := spanner.Compile("!x{a"); err == nil {
+		t.Fatal("unclosed capture must surface")
+	}
+}
+
+func TestFigure1EndToEnd(t *testing.T) {
+	s := spanner.MustCompile(gen.Figure1Pattern())
+	doc := gen.Figure1Doc()
+
+	var got []map[string]string
+	s.Enumerate(doc, func(m *spanner.Match) bool {
+		row := make(map[string]string)
+		for _, b := range m.Bindings() {
+			row[b.Var] = b.Text
+		}
+		got = append(got, row)
+		return true
+	})
+	if len(got) != 2 {
+		t.Fatalf("got %d matches, want 2: %v", len(got), got)
+	}
+	found := map[string]bool{}
+	for _, row := range got {
+		if e, ok := row["email"]; ok {
+			found["email:"+row["name"]+"/"+e] = true
+		}
+		if p, ok := row["phone"]; ok {
+			found["phone:"+row["name"]+"/"+p] = true
+		}
+	}
+	if !found["email:John/j@g.be"] || !found["phone:Jane/555-12"] {
+		t.Fatalf("unexpected matches: %v", got)
+	}
+
+	if c, exact := s.Count(doc); !exact || c != 2 {
+		t.Fatalf("Count = %d (exact=%v), want 2", c, exact)
+	}
+	if s.IsEmpty(doc) {
+		t.Fatal("IsEmpty must be false on a matching document")
+	}
+	if !s.IsEmpty([]byte("no pattern here")) {
+		t.Fatal("IsEmpty must be true on a non-matching document")
+	}
+	if big := s.CountBig(doc); big.Int64() != 2 {
+		t.Fatalf("CountBig = %v, want 2", big)
+	}
+}
+
+func TestMatchAccessors(t *testing.T) {
+	s := spanner.MustCompile(`.*!w{[a-z]+}.*`)
+	doc := []byte("xy")
+	it := s.Iterator(doc)
+	seen := map[string]bool{}
+	for {
+		m, ok := it.Next()
+		if !ok {
+			break
+		}
+		sp, ok := m.Span("w")
+		if !ok {
+			t.Fatal("w must be assigned")
+		}
+		text, _ := m.Text("w")
+		if text != string(doc[sp.Start:sp.End]) {
+			t.Fatalf("Text %q disagrees with Span %v", text, sp)
+		}
+		if sp.Len() != sp.End-sp.Start {
+			t.Fatal("Len mismatch")
+		}
+		if _, ok := m.Span("nope"); ok {
+			t.Fatal("unknown variable must not resolve")
+		}
+		if _, ok := m.Text("nope"); ok {
+			t.Fatal("unknown variable must not resolve")
+		}
+		seen[text] = true
+	}
+	for _, want := range []string{"x", "y", "xy"} {
+		if !seen[want] {
+			t.Fatalf("missing capture %q in %v", want, seen)
+		}
+	}
+}
+
+func TestMatchScratchReuseAndClone(t *testing.T) {
+	s := spanner.MustCompile(`.*!w{[a-z]}.*`)
+	it := s.Iterator([]byte("ab"))
+	m1, ok := it.Next()
+	if !ok {
+		t.Fatal("expected a match")
+	}
+	c1 := m1.Clone()
+	k1 := m1.Key()
+	m2, ok := it.Next()
+	if !ok {
+		t.Fatal("expected a second match")
+	}
+	if m1 != m2 {
+		t.Fatal("iterator should reuse its scratch match")
+	}
+	if c1.Key() != k1 {
+		t.Fatal("clone must freeze the earlier value")
+	}
+	if m2.Key() == k1 {
+		t.Fatal("second match must differ")
+	}
+}
+
+func TestAllRangeIterator(t *testing.T) {
+	s := spanner.MustCompile(`.*!w{[a-z]}.*`)
+	n := 0
+	for m := range s.All([]byte("abc")) {
+		if m.Key() == "" {
+			t.Fatal("empty key")
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("ranged over %d matches, want 3", n)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	s := spanner.MustCompile(`.*!w{[a-z]}.*`)
+	n := 0
+	s.Enumerate([]byte("abcdef"), func(*spanner.Match) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("enumerated %d, want early stop at 2", n)
+	}
+}
+
+func TestNonSequentialPatternSequentializes(t *testing.T) {
+	// A capture under a star compiles to a non-sequential VA; the facade
+	// must route it through the Proposition 4.1 product transparently.
+	s := spanner.MustCompile(`(!x{a})*b`)
+	if !s.Stats().Sequentialized {
+		t.Fatal("capture under star must require sequentialization")
+	}
+	keys := collectKeys(s, []byte("ab"))
+	if len(keys) != 1 || keys[0] != "x=[0,1)" {
+		t.Fatalf("keys = %v, want [x=[0,1)]", keys)
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	s := spanner.MustCompile(gen.Figure1Pattern())
+	st := s.Stats()
+	if st.Mode != spanner.ModeStrict {
+		t.Fatal("default mode must be strict")
+	}
+	if st.DetStates <= 0 || st.DenseTableBytes != st.DetStates*1024 {
+		t.Fatalf("stats inconsistent: %+v", st)
+	}
+	if st.VAStates <= 0 || st.EVAStates <= 0 {
+		t.Fatalf("intermediate sizes missing: %+v", st)
+	}
+	if got := s.Vars(); len(got) != 3 {
+		t.Fatalf("Vars = %v, want 3 names", got)
+	}
+	if s.Pattern() != gen.Figure1Pattern() || s.String() != s.Pattern() {
+		t.Fatal("pattern accessors disagree")
+	}
+	if spanner.ModeStrict.String() != "strict" || spanner.ModeLazy.String() != "lazy" {
+		t.Fatal("Mode.String mismatch")
+	}
+
+	l := spanner.MustCompile(gen.Figure1Pattern(), spanner.WithLazy())
+	before := l.Stats().DetStates
+	l.Enumerate(gen.Figure1Doc(), func(*spanner.Match) bool { return true })
+	if after := l.Stats().DetStates; after <= before {
+		t.Fatalf("lazy DetStates must grow with evaluation: %d -> %d", before, after)
+	}
+	if l.Stats().DenseTableBytes != 0 {
+		t.Fatal("lazy mode has no dense table")
+	}
+}
+
+func TestGoroutineSafety(t *testing.T) {
+	for _, mode := range []spanner.Option{spanner.WithStrict(), spanner.WithLazy()} {
+		s := spanner.MustCompile(gen.Figure1Pattern(), mode)
+		docs := [][]byte{
+			gen.Figure1Doc(),
+			gen.Contacts(50, 1),
+			gen.Contacts(50, 2),
+			[]byte("nothing to see"),
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				doc := docs[g%len(docs)]
+				want, _ := s.Count(doc)
+				for rep := 0; rep < 5; rep++ {
+					n := uint64(0)
+					s.Enumerate(doc, func(*spanner.Match) bool { n++; return true })
+					if n != want {
+						t.Errorf("goroutine %d: enumerated %d, count says %d", g, n, want)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+}
+
+func TestWithModeOption(t *testing.T) {
+	s := spanner.MustCompile("a", spanner.WithMode(spanner.ModeLazy))
+	if s.Mode() != spanner.ModeLazy {
+		t.Fatal("WithMode(ModeLazy) ignored")
+	}
+}
