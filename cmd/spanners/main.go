@@ -4,12 +4,22 @@
 //
 //	spanners '.*!user{[a-z0-9]+}@!host{[a-z0-9.]+}.*' mail.txt
 //	spanners -count '.*!ip{\d+\.\d+\.\d+\.\d+}.*' access.log
+//	spanners -j 8 PATTERN *.log
 //	cat doc | spanners -json '!w{\w+}(.|\n)*'
 //
 // Each output line is one match. In text mode a match renders as
 // tab-separated "var=[start,end) "text"" bindings (byte offsets, half-open);
 // with -json each match is one NDJSON object. -count prints only |⟦A⟧d|
-// per input, computed without enumerating (Theorem 5.1).
+// per input, computed without enumerating (Theorem 5.1). With -j N,
+// multiple FILE arguments are evaluated concurrently by N workers; the
+// output order is identical to the serial order. Stdin is consumed
+// incrementally (chunk-by-chunk preprocessing), so matching starts the
+// moment the pipe closes, and -count over stdin never materializes the
+// document at all.
+//
+// Exit status follows the grep convention: 0 when at least one input
+// matched, 1 when nothing matched, 2 on any error (bad pattern, unreadable
+// file, write failure).
 package main
 
 import (
@@ -19,8 +29,17 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync/atomic"
 
+	"spanners/engine"
 	"spanners/spanner"
+)
+
+// Exit codes, grep-style.
+const (
+	exitMatch   = 0 // at least one input produced a match
+	exitNoMatch = 1 // everything evaluated, no input matched
+	exitError   = 2 // usage, compile, read, or write error
 )
 
 func main() {
@@ -46,13 +65,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		lazy      = fs.Bool("lazy", false, "determinize on the fly instead of ahead of time")
 		stats     = fs.Bool("stats", false, "print automaton statistics to stderr")
 		limit     = fs.Int("limit", 0, "stop after this many matches per input (0 = no limit)")
+		jobs      = fs.Int("j", 1, "evaluate FILE arguments concurrently with this many workers")
 	)
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return exitError
 	}
 	if fs.NArg() < 1 {
 		fs.Usage()
-		return 2
+		return exitError
 	}
 	pattern := fs.Arg(0)
 	files := fs.Args()[1:]
@@ -64,107 +84,276 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	sp, err := spanner.Compile(pattern, opts...)
 	if err != nil {
 		fmt.Fprintf(stderr, "spanners: %v\n", err)
-		return 2
+		return exitError
 	}
 	if *stats {
 		printStats(stderr, sp)
 	}
 
-	enc := json.NewEncoder(stdout)
-	status := 1 // grep convention: 1 when nothing matched anywhere
 	inputs := files
 	if len(inputs) == 0 {
 		inputs = []string{"-"}
 	}
-	prefix := len(files) > 1
-	for _, name := range inputs {
-		doc, err := readInput(name, stdin)
-		if err != nil {
-			fmt.Fprintf(stderr, "spanners: %v\n", err)
-			return 2
-		}
-		matched, err := processDoc(sp, name, doc, prefix, *countOnly, *jsonOut, *limit, stdout, enc)
-		if err != nil {
-			fmt.Fprintf(stderr, "spanners: %v\n", err)
-			return 2
-		}
-		if matched {
-			status = 0
-		}
+	r := &renderer{
+		jsonOut: *jsonOut,
+		prefix:  len(files) > 1,
+		stdout:  stdout,
+		enc:     json.NewEncoder(stdout),
+	}
+
+	var matched bool
+	if *jobs > 1 && len(files) > 1 {
+		matched, err = runBatch(sp, files, *jobs, *countOnly, *limit, r)
+	} else {
+		matched, err = runSerial(sp, inputs, stdin, *countOnly, *limit, r)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "spanners: %v\n", err)
+		return exitError
 	}
 	if *stats && *lazy {
 		fmt.Fprintf(stderr, "det states discovered: %d\n", sp.Stats().DetStates)
 	}
-	return status
-}
-
-func readInput(name string, stdin io.Reader) ([]byte, error) {
-	if name == "-" {
-		return io.ReadAll(stdin)
+	if matched {
+		return exitMatch
 	}
-	return os.ReadFile(name)
+	return exitNoMatch
 }
 
-func processDoc(sp *spanner.Spanner, name string, doc []byte, prefix, countOnly, jsonOut bool, limit int, stdout io.Writer, enc *json.Encoder) (matched bool, err error) {
-	if countOnly {
-		n, exact := sp.Count(doc)
-		val := fmt.Sprintf("%d", n)
-		if !exact {
-			// The uint64 count overflowed; recount with big integers.
-			val = sp.CountBig(doc).String()
-		}
-		if prefix {
-			fmt.Fprintf(stdout, "%s:%s\n", name, val)
+// runSerial evaluates the inputs one after the other. Stdin ("-") is
+// consumed incrementally through the streaming entry points; files are read
+// whole (their matches need the document bytes anyway).
+func runSerial(sp *spanner.Spanner, inputs []string, stdin io.Reader, countOnly bool, limit int, r *renderer) (matched bool, err error) {
+	for _, name := range inputs {
+		var m bool
+		var e error
+		if name == "-" {
+			m, e = processStdin(sp, stdin, countOnly, limit, r)
 		} else {
-			fmt.Fprintln(stdout, val)
+			m, e = processFile(sp, name, countOnly, limit, r)
 		}
-		return n > 0 || !exact, nil
+		if e != nil {
+			return matched, e
+		}
+		matched = matched || m
 	}
+	return matched, nil
+}
 
-	type jsonSpan struct {
-		Start int    `json:"start"`
-		End   int    `json:"end"`
-		Text  string `json:"text"`
+// processStdin streams stdin through the incremental evaluator: -count
+// runs the O(states)-memory counting pass; otherwise preprocessing happens
+// as chunks arrive and enumeration starts at EOF.
+func processStdin(sp *spanner.Spanner, stdin io.Reader, countOnly bool, limit int, r *renderer) (matched bool, err error) {
+	if countOnly {
+		n, err := sp.CountBigReader(stdin)
+		if err != nil {
+			return false, err
+		}
+		return n.Sign() > 0, r.count("-", n.String())
 	}
 	emitted := 0
-	sp.Enumerate(doc, func(m *spanner.Match) bool {
+	err = sp.EnumerateReader(stdin, func(m *spanner.Match) bool {
 		matched = true
-		if jsonOut {
-			row := struct {
-				File  string              `json:"file,omitempty"`
-				Spans map[string]jsonSpan `json:"spans"`
-			}{Spans: make(map[string]jsonSpan)}
-			if prefix {
-				row.File = name
-			}
-			for _, b := range m.Bindings() {
-				row.Spans[b.Var] = jsonSpan{Start: b.Span.Start, End: b.Span.End, Text: b.Text}
-			}
-			if e := enc.Encode(row); e != nil {
-				err = e
-				return false
-			}
-		} else {
-			parts := make([]string, 0, 4)
-			for _, b := range m.Bindings() {
-				parts = append(parts, fmt.Sprintf("%s=%s %q", b.Var, b.Span, b.Text))
-			}
-			if len(parts) == 0 {
-				parts = append(parts, "{}") // the empty mapping: accepted, nothing captured
-			}
-			line := strings.Join(parts, "\t")
-			if prefix {
-				line = name + ":" + line
-			}
-			if _, e := fmt.Fprintln(stdout, line); e != nil {
-				err = e
-				return false
-			}
+		if !r.match("-", m) {
+			return false
 		}
 		emitted++
 		return limit == 0 || emitted < limit
 	})
+	if err == nil {
+		err = r.err
+	}
 	return matched, err
+}
+
+func processFile(sp *spanner.Spanner, name string, countOnly bool, limit int, r *renderer) (matched bool, err error) {
+	doc, err := os.ReadFile(name)
+	if err != nil {
+		return false, err
+	}
+	if countOnly {
+		return r.countDoc(sp, name, doc)
+	}
+	emitted := 0
+	sp.Enumerate(doc, func(m *spanner.Match) bool {
+		matched = true
+		if !r.match(name, m) {
+			return false
+		}
+		emitted++
+		return limit == 0 || emitted < limit
+	})
+	return matched, r.err
+}
+
+// runBatch fans the files out across an engine worker pool. Files are read
+// lazily inside the workers, so resident memory stays bounded by the
+// in-flight window regardless of how many files are listed, and the merged
+// output — including where a read error surfaces — is byte-identical to
+// the serial order.
+func runBatch(sp *spanner.Spanner, files []string, jobs int, countOnly bool, limit int, r *renderer) (matched bool, err error) {
+	if countOnly {
+		return runBatchCount(sp, files, jobs, r)
+	}
+	eng := engine.New(sp, engine.Workers(jobs))
+	eng.Process(len(files),
+		func(i engine.DocID) ([]byte, error) { return os.ReadFile(files[i]) },
+		func(i engine.DocID, ev *spanner.Evaluation, e error) bool {
+			if e != nil {
+				err = e
+				return false
+			}
+			emitted := 0
+			ev.Enumerate(func(m *spanner.Match) bool {
+				matched = true
+				if !r.match(files[i], m) {
+					return false
+				}
+				emitted++
+				return limit == 0 || emitted < limit
+			})
+			return r.err == nil
+		})
+	if err == nil {
+		err = r.err
+	}
+	return matched, err
+}
+
+// runBatchCount runs the per-file counting pass on its own bounded pool:
+// each worker reads a file, counts, and drops the document, so memory
+// stays at O(workers) files and the counts print in input order.
+func runBatchCount(sp *spanner.Spanner, files []string, jobs int, r *renderer) (matched bool, err error) {
+	n := len(files)
+	workers := max(1, min(jobs, n))
+	type result struct {
+		val string
+		pos bool
+		err error
+	}
+	jobsCh := make(chan int, n)
+	for i := 0; i < n; i++ {
+		jobsCh <- i
+	}
+	close(jobsCh)
+	results := make([]chan result, n)
+	for i := range results {
+		results[i] = make(chan result, 1)
+	}
+	var stop atomic.Bool
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobsCh {
+				if stop.Load() {
+					results[i] <- result{}
+					continue
+				}
+				doc, e := os.ReadFile(files[i])
+				if e != nil {
+					results[i] <- result{err: e}
+					continue
+				}
+				c, exact := sp.Count(doc)
+				val := fmt.Sprintf("%d", c)
+				if !exact {
+					// The uint64 count overflowed; recount with big integers.
+					val = sp.CountBig(doc).String()
+				}
+				results[i] <- result{val: val, pos: c > 0 || !exact}
+			}
+		}()
+	}
+	defer stop.Store(true)
+	for i := 0; i < n; i++ {
+		res := <-results[i]
+		if res.err != nil {
+			return matched, res.err
+		}
+		if e := r.count(files[i], res.val); e != nil {
+			return matched, e
+		}
+		matched = matched || res.pos
+	}
+	return matched, nil
+}
+
+// renderer owns the output formatting shared by the serial and batch
+// paths. A false return from match/count-reporting means a write failed;
+// the first failure is latched in err.
+type renderer struct {
+	jsonOut bool
+	prefix  bool
+	stdout  io.Writer
+	enc     *json.Encoder
+	err     error
+}
+
+type jsonSpan struct {
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	Text  string `json:"text"`
+}
+
+// match renders one match line; it reports whether rendering can continue.
+func (r *renderer) match(name string, m *spanner.Match) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.jsonOut {
+		row := struct {
+			File  string              `json:"file,omitempty"`
+			Spans map[string]jsonSpan `json:"spans"`
+		}{Spans: make(map[string]jsonSpan)}
+		if r.prefix {
+			row.File = name
+		}
+		for _, b := range m.Bindings() {
+			row.Spans[b.Var] = jsonSpan{Start: b.Span.Start, End: b.Span.End, Text: b.Text}
+		}
+		if e := r.enc.Encode(row); e != nil {
+			r.err = e
+			return false
+		}
+		return true
+	}
+	parts := make([]string, 0, 4)
+	for _, b := range m.Bindings() {
+		parts = append(parts, fmt.Sprintf("%s=%s %q", b.Var, b.Span, b.Text))
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "{}") // the empty mapping: accepted, nothing captured
+	}
+	line := strings.Join(parts, "\t")
+	if r.prefix {
+		line = name + ":" + line
+	}
+	if _, e := fmt.Fprintln(r.stdout, line); e != nil {
+		r.err = e
+		return false
+	}
+	return true
+}
+
+// count renders one per-input count line.
+func (r *renderer) count(name, val string) error {
+	var e error
+	if r.prefix {
+		_, e = fmt.Fprintf(r.stdout, "%s:%s\n", name, val)
+	} else {
+		_, e = fmt.Fprintln(r.stdout, val)
+	}
+	return e
+}
+
+// countDoc counts one materialized document, falling back to big-integer
+// arithmetic on overflow.
+func (r *renderer) countDoc(sp *spanner.Spanner, name string, doc []byte) (matched bool, err error) {
+	n, exact := sp.Count(doc)
+	val := fmt.Sprintf("%d", n)
+	if !exact {
+		val = sp.CountBig(doc).String()
+	}
+	return n > 0 || !exact, r.count(name, val)
 }
 
 func printStats(w io.Writer, sp *spanner.Spanner) {

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -127,5 +128,124 @@ func TestCLIErrors(t *testing.T) {
 	_, stderr, code = runCLI(t, "", "a", "/nonexistent/file/path")
 	if code != 2 || !strings.Contains(stderr, "no such file") {
 		t.Fatalf("missing file: exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestCLIExitCodes(t *testing.T) {
+	// Grep convention: 0 = matched, 1 = no match, 2 = error.
+	okFile := writeTemp(t, "ok.txt", gen.Figure1Doc())
+	emptyFile := writeTemp(t, "empty.txt", nil)
+	cases := []struct {
+		name  string
+		stdin string
+		args  []string
+		want  int
+	}{
+		{"match file", "", []string{gen.Figure1Pattern(), okFile}, 0},
+		{"match stdin", string(gen.Figure1Doc()), []string{gen.Figure1Pattern()}, 0},
+		{"match count", string(gen.Figure1Doc()), []string{"-count", gen.Figure1Pattern()}, 0},
+		{"no match file", "", []string{gen.Figure1Pattern(), emptyFile}, 1},
+		{"no match stdin", "12345", []string{`.*!w{[a-z]}.*`}, 1},
+		{"no match count", "12345", []string{"-count", `.*!w{[a-z]}.*`}, 1},
+		{"no match parallel", "", []string{"-j", "4", `.*!w{[a-z]}.*`, emptyFile, emptyFile, emptyFile}, 1},
+		{"match parallel", "", []string{"-j", "4", gen.Figure1Pattern(), emptyFile, okFile}, 0},
+		{"bad pattern", "", []string{"("}, 2},
+		{"missing pattern", "", nil, 2},
+		{"bad flag", "", []string{"-nope", "a"}, 2},
+		{"missing file", "", []string{"a", "/nonexistent/file/path"}, 2},
+		{"missing file parallel", "", []string{"-j", "2", "a", okFile, "/nonexistent/file/path"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, stderr, code := runCLI(t, tc.stdin, tc.args...)
+			if code != tc.want {
+				t.Fatalf("exit = %d, want %d (stderr: %s)", code, tc.want, stderr)
+			}
+		})
+	}
+}
+
+func TestCLIParallelMatchesSerial(t *testing.T) {
+	// -j N output must be byte-identical to the serial order, in every
+	// output mode.
+	var files []string
+	for i := 0; i < 9; i++ {
+		var doc []byte
+		switch i % 3 {
+		case 0:
+			doc = gen.Contacts(5+i, int64(i))
+		case 1:
+			doc = nil
+		default:
+			doc = gen.Contacts(30, int64(i))
+		}
+		files = append(files, writeTemp(t, fmt.Sprintf("f%d.txt", i), doc))
+	}
+	for _, extra := range [][]string{nil, {"-json"}, {"-count"}, {"-limit", "2"}, {"-lazy"}} {
+		args := append(append([]string{}, extra...), gen.Figure1Pattern())
+		serialOut, _, serialCode := runCLI(t, "", append(args, files...)...)
+		parArgs := append([]string{"-j", "8"}, args...)
+		parOut, _, parCode := runCLI(t, "", append(parArgs, files...)...)
+		if parCode != serialCode {
+			t.Fatalf("%v: exit %d (parallel) vs %d (serial)", extra, parCode, serialCode)
+		}
+		if parOut != serialOut {
+			t.Fatalf("%v: parallel output differs from serial:\n--- parallel ---\n%s--- serial ---\n%s",
+				extra, parOut, serialOut)
+		}
+	}
+}
+
+func TestCLIStdinStreaming(t *testing.T) {
+	// A document much larger than one read chunk must stream through
+	// unharmed, and -count over stdin must agree with enumeration.
+	doc := gen.Contacts(5000, 23) // ~110 KB, several 64 KB chunks
+	out, _, code := runCLI(t, string(doc), "-count", gen.Figure1Pattern())
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	wantCount := strings.TrimSpace(out)
+
+	out, _, code = runCLI(t, string(doc), gen.Figure1Pattern())
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if fmt.Sprint(len(lines)) != wantCount {
+		t.Fatalf("streamed enumeration emitted %d lines, -count says %s", len(lines), wantCount)
+	}
+}
+
+func TestCLIParallelErrorMatchesSerialOrder(t *testing.T) {
+	// A read error must surface at its input's position: everything before
+	// the bad file prints first, then exit 2 — identically in serial and
+	// parallel mode.
+	f1 := writeTemp(t, "a.txt", gen.Figure1Doc())
+	f2 := writeTemp(t, "b.txt", gen.Figure1Doc())
+	bad := filepath.Join(t.TempDir(), "missing.txt")
+	args := []string{gen.Figure1Pattern(), f1, f2, bad}
+
+	serialOut, serialErr, serialCode := runCLI(t, "", args...)
+	parOut, parErr, parCode := runCLI(t, "", append([]string{"-j", "4"}, args...)...)
+	if serialCode != 2 || parCode != 2 {
+		t.Fatalf("exit codes %d/%d, want 2/2", serialCode, parCode)
+	}
+	if parOut != serialOut {
+		t.Fatalf("parallel error-path output differs from serial:\n--- parallel ---\n%s--- serial ---\n%s", parOut, serialOut)
+	}
+	if !strings.Contains(serialOut, "John") || !strings.Contains(parOut, "John") {
+		t.Fatal("matches before the failing file must still be printed")
+	}
+	if !strings.Contains(serialErr, "missing.txt") || !strings.Contains(parErr, "missing.txt") {
+		t.Fatalf("stderr must name the failing file:\nserial: %s\nparallel: %s", serialErr, parErr)
+	}
+
+	// Same contract for -count.
+	countArgs := append([]string{"-count"}, args...)
+	serialOut, _, serialCode = runCLI(t, "", countArgs...)
+	parOut, _, parCode = runCLI(t, "", append([]string{"-j", "4"}, countArgs...)...)
+	if serialCode != 2 || parCode != 2 || parOut != serialOut {
+		t.Fatalf("-count error path diverges: exit %d/%d\n--- parallel ---\n%s--- serial ---\n%s",
+			serialCode, parCode, parOut, serialOut)
 	}
 }

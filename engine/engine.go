@@ -1,0 +1,235 @@
+// Package engine evaluates one compiled spanner over batches of documents
+// concurrently. It fans the documents of a batch out across a pool of
+// worker goroutines — each preprocessing into pooled evaluation scratch —
+// and merges the per-document match streams back into a single
+// deterministic sequence: matches are delivered grouped by document,
+// documents in input order, and matches within a document in the spanner's
+// canonical enumeration order (Algorithm 2's DFS order). The output of Run
+// is therefore byte-for-byte identical to a serial loop over the batch,
+// whatever the worker count.
+//
+//	s := spanner.MustCompile(pattern)
+//	eng := engine.New(s, engine.Workers(8))
+//	for id, m := range eng.Run(docs) {
+//	    fmt.Println(id, m)
+//	}
+//
+// The division of labor follows the paper's two phases: workers run the
+// document-sized preprocessing pass (Algorithm 1), the consumer replays
+// the constant-delay enumerations (Algorithm 2) in document order, so no
+// match is ever copied between goroutines. Consequently Run's *Match
+// follows the facade's ownership rule: it is a scratch buffer reused
+// across yields — Clone it to retain it. Use spanner.Spanner.Collect when
+// a batch of retained matches is wanted instead.
+package engine
+
+import (
+	"iter"
+	"runtime"
+	"sync/atomic"
+
+	"spanners/spanner"
+)
+
+// DocID identifies a document of a batch by its index in the input slice.
+type DocID int
+
+// Match is one output mapping of a document; see spanner.Match.
+type Match = spanner.Match
+
+// Engine is a reusable batch evaluator for one compiled spanner. It is
+// immutable after New and safe for concurrent use; independent batches may
+// Run at the same time.
+type Engine struct {
+	s       *spanner.Spanner
+	workers int
+	limit   int
+}
+
+// Option configures New.
+type Option func(*Engine)
+
+// Workers requests a worker-pool size. Values below 1 (and the default)
+// select the hardware parallelism. Because batch evaluation is pure CPU
+// work (the documents are already in memory), the engine never runs more
+// workers than GOMAXPROCS — oversubscription adds scheduling and cache
+// pressure with no parallelism to gain — nor more workers than a batch has
+// documents.
+func Workers(n int) Option { return func(e *Engine) { e.workers = n } }
+
+// Limit caps the number of matches emitted per document (0, the default,
+// means no cap). Enumeration of a document stops once its cap is reached;
+// the preprocessing pass is whole-document either way.
+func Limit(n int) Option { return func(e *Engine) { e.limit = n } }
+
+// New returns a batch evaluator over the compiled spanner s. The pool size
+// is resolved against GOMAXPROCS at each Run/Count call, so an Engine
+// created before a GOMAXPROCS change stays well-sized.
+func New(s *spanner.Spanner, opts ...Option) *Engine {
+	e := &Engine{s: s}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// poolSize resolves the effective worker count for a batch of n documents.
+func (e *Engine) poolSize(n int) int {
+	w := e.workers
+	if w < 1 || w > runtime.GOMAXPROCS(0) {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return min(w, n)
+}
+
+// Run evaluates every document of the batch and returns a range-over-func
+// iterator over (document index, match) pairs in deterministic serial
+// order. Stopping the iteration early (break) stops the workers after
+// their in-flight documents; no goroutines are leaked.
+//
+// The heavy O(|A|·|doc|) preprocessing pass runs on the workers; the cheap
+// constant-delay enumeration runs on the consumer, in document order, so
+// no match is ever copied. Like Spanner.Enumerate, the yielded *Match is a
+// scratch buffer reused across calls — Clone it to retain it.
+//
+// The documents are read concurrently and must not be mutated while Run's
+// iterator is live.
+func (e *Engine) Run(docs [][]byte) iter.Seq2[DocID, *Match] {
+	return func(yield func(DocID, *Match) bool) {
+		e.Process(len(docs),
+			func(i DocID) ([]byte, error) { return docs[i], nil },
+			func(i DocID, ev *spanner.Evaluation, _ error) bool {
+				emitted, ok := 0, true
+				ev.Enumerate(func(m *Match) bool {
+					if !yield(i, m) {
+						ok = false
+						return false
+					}
+					emitted++
+					return e.limit == 0 || emitted < e.limit
+				})
+				return ok
+			})
+	}
+}
+
+// Process is the loader-based form of Run: documents are supplied lazily
+// by load — which runs on the worker pool, so slow or failing sources
+// (files, object stores) overlap with evaluation — preprocessed
+// concurrently, and handed to emit strictly in input order on the calling
+// goroutine. Exactly one of ev and err is non-nil per document: err is
+// load's error for that document, surfaced at the document's position so
+// the consumer sees everything before it first, exactly like a serial
+// loop. emit returns false to stop the batch.
+//
+// The Evaluation is valid only during the emit call (Process releases its
+// pooled scratch afterwards); Clone any match to retain. At most
+// 2×workers documents are resident at a time — loaded bytes and
+// preprocessing arenas both — whatever the batch size.
+func (e *Engine) Process(n int, load func(DocID) ([]byte, error), emit func(DocID, *spanner.Evaluation, error) bool) {
+	if n == 0 {
+		return
+	}
+	workers := e.poolSize(n)
+
+	// Every document index is queued up front; results[i] is buffered so
+	// a worker can always deliver and move on, even when the consumer has
+	// stopped — that is what makes early termination leak-free without
+	// draining. A loaded-and-preprocessed document pins its bytes and an
+	// evaluation arena until the consumer drains it, so inflight tickets
+	// bound the resident set; stopCh wakes workers blocked on a ticket
+	// when the consumer quits early. Workers dequeue in index order, so
+	// every ticket holder is ahead of at most 2×workers undrained
+	// documents and the consumer always frees tickets first: no deadlock.
+	type result struct {
+		ev  *spanner.Evaluation
+		err error
+	}
+	jobs := make(chan int, n)
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	results := make([]chan result, n)
+	for i := range results {
+		results[i] = make(chan result, 1)
+	}
+	inflight := make(chan struct{}, 2*workers)
+	stopCh := make(chan struct{})
+	var stop atomic.Bool
+
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobs {
+				if stop.Load() {
+					results[i] <- result{}
+					continue
+				}
+				select {
+				case inflight <- struct{}{}:
+				case <-stopCh:
+					results[i] <- result{}
+					continue
+				}
+				doc, err := load(DocID(i))
+				if err != nil {
+					<-inflight
+					results[i] <- result{err: err}
+					continue
+				}
+				results[i] <- result{ev: e.s.Preprocess(doc)}
+			}
+		}()
+	}
+
+	defer func() {
+		if stop.CompareAndSwap(false, true) {
+			close(stopCh)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		res := <-results[i]
+		if res.ev == nil && res.err == nil {
+			continue // only after an early stop
+		}
+		ok := emit(DocID(i), res.ev, res.err)
+		if res.ev != nil {
+			res.ev.Release()
+			<-inflight
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// Count evaluates the Theorem 5.1 counting pass over every document of the
+// batch concurrently and returns the per-document counts in input order.
+// exact[i] is false when count[i] overflowed uint64.
+func (e *Engine) Count(docs [][]byte) (counts []uint64, exact []bool) {
+	n := len(docs)
+	counts = make([]uint64, n)
+	exact = make([]bool, n)
+	if n == 0 {
+		return counts, exact
+	}
+	workers := e.poolSize(n)
+	jobs := make(chan int, n)
+	for i := range docs {
+		jobs <- i
+	}
+	close(jobs)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobs {
+				counts[i], exact[i] = e.s.Count(docs[i])
+			}
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	return counts, exact
+}

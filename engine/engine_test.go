@@ -1,0 +1,294 @@
+package engine_test
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"spanners/engine"
+	"spanners/internal/gen"
+	"spanners/spanner"
+)
+
+// forceProcs raises GOMAXPROCS for the duration of a test, so the engine
+// (which caps its pool at the hardware parallelism) genuinely runs
+// concurrent workers even on single-CPU hosts — the schedules the
+// determinism and race assertions need.
+func forceProcs(t *testing.T, n int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+// batch builds a mixed batch of n documents: contacts of varying sizes,
+// log lines, empty documents, and documents with no matches.
+func batch(n int) [][]byte {
+	docs := make([][]byte, n)
+	for i := range docs {
+		switch i % 5 {
+		case 0:
+			docs[i] = gen.Contacts(1+i%37, int64(i))
+		case 1:
+			docs[i] = gen.LogDoc(1+i%11, int64(i))
+		case 2:
+			docs[i] = nil
+		case 3:
+			docs[i] = []byte("no matches in this one")
+		default:
+			docs[i] = gen.Contacts(40, int64(i))
+		}
+	}
+	return docs
+}
+
+// serialTrace is the reference output: the (doc index, match key) sequence
+// of a serial loop over the batch.
+func serialTrace(s *spanner.Spanner, docs [][]byte) []string {
+	var out []string
+	for i, doc := range docs {
+		s.Enumerate(doc, func(m *spanner.Match) bool {
+			out = append(out, fmt.Sprintf("%d:%s", i, m.Key()))
+			return true
+		})
+	}
+	return out
+}
+
+func engineTrace(e *engine.Engine, docs [][]byte) []string {
+	var out []string
+	for id, m := range e.Run(docs) {
+		out = append(out, fmt.Sprintf("%d:%s", id, m.Key()))
+	}
+	return out
+}
+
+func TestRunDeterministicMatchesSerial(t *testing.T) {
+	forceProcs(t, 8)
+	docs := batch(120)
+	for _, mode := range []spanner.Mode{spanner.ModeStrict, spanner.ModeLazy} {
+		s := spanner.MustCompile(gen.Figure1Pattern(), spanner.WithMode(mode))
+		want := serialTrace(s, docs)
+		if len(want) == 0 {
+			t.Fatal("batch produced no matches; the test would be vacuous")
+		}
+		for _, workers := range []int{1, 2, 8} {
+			e := engine.New(s, engine.Workers(workers))
+			got := engineTrace(e, docs)
+			if len(got) != len(want) {
+				t.Fatalf("mode %v workers %d: %d outputs, want %d", mode, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("mode %v workers %d: output %d = %s, want %s",
+						mode, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRunRepeatedUseIsStable(t *testing.T) {
+	forceProcs(t, 8)
+	// The same Engine must be reusable, and concurrent scratch pooling must
+	// not leak state between batches.
+	s := spanner.MustCompile(gen.Figure1Pattern())
+	e := engine.New(s, engine.Workers(8))
+	docs := batch(40)
+	first := engineTrace(e, docs)
+	for run := 0; run < 3; run++ {
+		if got := engineTrace(e, docs); fmt.Sprint(got) != fmt.Sprint(first) {
+			t.Fatalf("run %d differs from first run", run)
+		}
+	}
+}
+
+func TestRunEarlyStop(t *testing.T) {
+	forceProcs(t, 8)
+	s := spanner.MustCompile(gen.Figure1Pattern())
+	docs := batch(60)
+	want := serialTrace(s, docs)
+	e := engine.New(s, engine.Workers(4))
+	for _, stopAfter := range []int{0, 1, 7, len(want) - 1} {
+		var got []string
+		for id, m := range e.Run(docs) {
+			if len(got) == stopAfter {
+				break
+			}
+			got = append(got, fmt.Sprintf("%d:%s", id, m.Key()))
+		}
+		if len(got) != stopAfter {
+			t.Fatalf("stopAfter %d: got %d", stopAfter, len(got))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("stopAfter %d: output %d = %s, want %s", stopAfter, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunClonedMatchesAreRetainable(t *testing.T) {
+	forceProcs(t, 8)
+	// Run yields reused scratch buffers (the facade's ownership rule);
+	// Cloned matches must stay valid after the whole batch — and its
+	// pooled scratches — have been churned through.
+	s := spanner.MustCompile(gen.Figure1Pattern())
+	docs := batch(30)
+	type saved struct {
+		id  engine.DocID
+		m   *engine.Match
+		key string
+		txt string
+	}
+	var all []saved
+	e := engine.New(s, engine.Workers(8))
+	for id, m := range e.Run(docs) {
+		c := m.Clone()
+		txt, _ := c.Text("name")
+		all = append(all, saved{id, c, c.Key(), txt})
+	}
+	for i, sv := range all {
+		if sv.m.Key() != sv.key {
+			t.Fatalf("clone %d mutated after retention: %s != %s", i, sv.m.Key(), sv.key)
+		}
+		if txt, _ := sv.m.Text("name"); txt != sv.txt {
+			t.Fatalf("clone %d text mutated after retention: %q != %q", i, txt, sv.txt)
+		}
+	}
+}
+
+func TestCollectMatchesAreRetainable(t *testing.T) {
+	// The batch-collection path for consumers that do want ownership:
+	// Collect's matches are independent copies.
+	s := spanner.MustCompile(gen.Figure1Pattern())
+	docs := batch(20)
+	var all []*spanner.Match
+	var wantKeys []string
+	for _, doc := range docs {
+		before := len(all)
+		all = s.Collect(all, doc, 0)
+		n := 0
+		s.Enumerate(doc, func(m *spanner.Match) bool { n++; return true })
+		if len(all)-before != n {
+			t.Fatalf("Collect returned %d matches, Enumerate %d", len(all)-before, n)
+		}
+	}
+	for _, m := range all {
+		wantKeys = append(wantKeys, m.Key())
+	}
+	// Churn the pool, then re-check the retained matches.
+	for i := 0; i < 5; i++ {
+		s.Enumerate(gen.Contacts(50, int64(i)), func(*spanner.Match) bool { return true })
+	}
+	for i, m := range all {
+		if m.Key() != wantKeys[i] {
+			t.Fatalf("collected match %d corrupted", i)
+		}
+	}
+}
+
+func TestLimit(t *testing.T) {
+	forceProcs(t, 8)
+	s := spanner.MustCompile(gen.Figure1Pattern())
+	docs := batch(25)
+	const limit = 2
+
+	// Reference: serial enumeration stopping after limit matches per doc.
+	var want []string
+	for i, doc := range docs {
+		n := 0
+		s.Enumerate(doc, func(m *spanner.Match) bool {
+			want = append(want, fmt.Sprintf("%d:%s", i, m.Key()))
+			n++
+			return n < limit
+		})
+	}
+
+	e := engine.New(s, engine.Workers(4), engine.Limit(limit))
+	got := engineTrace(e, docs)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("limited run disagrees with serial:\ngot  %v\nwant %v", got, want)
+	}
+	perDoc := map[string]int{}
+	for _, g := range got {
+		perDoc[strings.SplitN(g, ":", 2)[0]]++
+	}
+	for id, n := range perDoc {
+		if n > limit {
+			t.Fatalf("doc %s emitted %d matches, limit %d", id, n, limit)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	forceProcs(t, 8)
+	s := spanner.MustCompile(gen.Figure1Pattern())
+	docs := batch(50)
+	e := engine.New(s, engine.Workers(8))
+	counts, exact := e.Count(docs)
+	if len(counts) != len(docs) || len(exact) != len(docs) {
+		t.Fatalf("result lengths %d/%d, want %d", len(counts), len(exact), len(docs))
+	}
+	for i, doc := range docs {
+		want, wantExact := s.Count(doc)
+		if counts[i] != want || exact[i] != wantExact {
+			t.Fatalf("doc %d: Count = (%d, %v), want (%d, %v)", i, counts[i], exact[i], want, wantExact)
+		}
+	}
+}
+
+func TestEmptyBatchAndDefaults(t *testing.T) {
+	s := spanner.MustCompile(gen.Figure1Pattern())
+	e := engine.New(s) // default workers
+	for id, m := range e.Run(nil) {
+		t.Fatalf("unexpected output %d %v", id, m)
+	}
+	counts, exact := e.Count(nil)
+	if len(counts) != 0 || len(exact) != 0 {
+		t.Fatal("empty batch must produce empty counts")
+	}
+	// Workers(0) and negative values fall back to the default.
+	for _, w := range []int{0, -3} {
+		e := engine.New(s, engine.Workers(w))
+		if got := engineTrace(e, batch(5)); len(got) == 0 {
+			t.Fatal("default-worker engine produced no output")
+		}
+	}
+}
+
+func TestProcessLoaderErrorsInOrder(t *testing.T) {
+	forceProcs(t, 8)
+	// Process must deliver a load error at the document's position, after
+	// every earlier document's matches; stopping there must not leak.
+	s := spanner.MustCompile(gen.Figure1Pattern())
+	docs := batch(20)
+	failAt := engine.DocID(11)
+	e := engine.New(s, engine.Workers(4))
+
+	var trace []string
+	e.Process(len(docs),
+		func(i engine.DocID) ([]byte, error) {
+			if i == failAt {
+				return nil, fmt.Errorf("load %d failed", i)
+			}
+			return docs[i], nil
+		},
+		func(i engine.DocID, ev *spanner.Evaluation, err error) bool {
+			if err != nil {
+				trace = append(trace, fmt.Sprintf("%d:ERR", i))
+				return false
+			}
+			ev.Enumerate(func(m *spanner.Match) bool {
+				trace = append(trace, fmt.Sprintf("%d:%s", i, m.Key()))
+				return true
+			})
+			return true
+		})
+
+	want := serialTrace(s, docs[:failAt])
+	want = append(want, fmt.Sprintf("%d:ERR", failAt))
+	if fmt.Sprint(trace) != fmt.Sprint(want) {
+		t.Fatalf("trace diverges from serial-with-error:\ngot  %v\nwant %v", trace, want)
+	}
+}

@@ -28,10 +28,15 @@ func Count(a Automaton, doc []byte) (count uint64, exact bool) {
 		c.reading(doc[i-1])
 	}
 	c.capturing()
+	return c.total()
+}
 
+// total sums the counts of the accepting live states; exact is false when
+// any step of the computation overflowed uint64.
+func (c *counter) total() (count uint64, exact bool) {
 	var total uint64
 	for _, q := range c.live {
-		if a.Accepting(q) {
+		if c.a.Accepting(q) {
 			var carry bool
 			total, carry = addOverflow(total, c.counts[q])
 			c.overflow = c.overflow || carry
@@ -123,10 +128,14 @@ func CountBig(a Automaton, doc []byte) *big.Int {
 		c.reading(doc[i-1])
 	}
 	c.capturing()
+	return c.total()
+}
 
+// total sums the counts of the accepting live states.
+func (c *bigCounter) total() *big.Int {
 	total := new(big.Int)
 	for _, q := range c.live {
-		if a.Accepting(q) {
+		if c.a.Accepting(q) && c.counts[q] != nil {
 			total.Add(total, c.counts[q])
 		}
 	}
@@ -195,4 +204,133 @@ func (c *bigCounter) reading(ch byte) {
 		c.add(t, c.olds[k])
 	}
 	c.live, c.nextLive = c.nextLive, c.live
+}
+
+// CountStream is the incremental form of the Algorithm 3 counting pass:
+// Feed advances the per-state run counts chunk-by-chunk and Close runs the
+// final Capturing, so |⟦A⟧d| can be computed over a document that is never
+// materialized (counting, unlike enumeration, needs no document bytes).
+//
+// Counts run in uint64 — the paper's uniform-cost RAM model — until the
+// first overflow. The stream snapshots its O(states) counter state at each
+// chunk boundary; when a chunk overflows, it rewinds to the snapshot,
+// replays that chunk with arbitrary-precision arithmetic, and stays in big
+// mode from then on. Count therefore reports exact uint64 results whenever
+// they fit, while CountBig is exact always, in a single pass over the
+// input. A CountStream is not goroutine-safe.
+type CountStream struct {
+	a      Automaton
+	c      counter
+	bc     *bigCounter // non-nil once migrated to big arithmetic
+	snapC  []uint64    // counter state at the last chunk boundary
+	snapL  []int
+	closed bool
+}
+
+// NewCountStream starts an incremental counting pass of a over a document
+// to be delivered via Feed.
+func NewCountStream(a Automaton) *CountStream {
+	s := &CountStream{a: a, c: counter{a: a}}
+	q0 := a.Initial()
+	s.c.ensure(q0)
+	s.c.counts[q0] = 1
+	s.c.live = append(s.c.live, q0)
+	return s
+}
+
+// Feed advances the counting pass over the next chunk of the document. The
+// chunk is not retained. Feed panics if the stream is already closed.
+func (s *CountStream) Feed(chunk []byte) {
+	if s.closed {
+		panic("core: CountStream.Feed after Close")
+	}
+	if s.bc == nil {
+		s.snapshot()
+		for _, c := range chunk {
+			s.c.capturing()
+			s.c.reading(c)
+		}
+		if !s.c.overflow {
+			return
+		}
+		s.migrate()
+	}
+	for _, c := range chunk {
+		s.bc.capturing()
+		s.bc.reading(c)
+	}
+}
+
+// snapshot saves the uint64 counter state so an overflowing chunk can be
+// replayed in big mode.
+func (s *CountStream) snapshot() {
+	s.snapC = append(s.snapC[:0], s.c.counts...)
+	s.snapL = append(s.snapL[:0], s.c.live...)
+}
+
+// migrate rebuilds the counter state of the last chunk boundary with
+// arbitrary-precision counts; the caller replays the chunk that overflowed.
+func (s *CountStream) migrate() {
+	bc := &bigCounter{a: s.a, counts: make([]*big.Int, len(s.snapC))}
+	for q, n := range s.snapC {
+		if n != 0 {
+			bc.counts[q] = new(big.Int).SetUint64(n)
+		}
+	}
+	bc.live = append(bc.live, s.snapL...)
+	s.bc = bc
+}
+
+// Close runs the final Capturing. It is idempotent; Count and CountBig call
+// it implicitly.
+func (s *CountStream) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.bc == nil {
+		s.snapshot()
+		s.c.capturing()
+		if s.c.overflow {
+			s.migrate()
+			s.bc.capturing()
+		}
+		return
+	}
+	s.bc.capturing()
+}
+
+// Count returns |⟦A⟧d| for the document fed so far; exact is false when the
+// count does not fit in uint64 (use CountBig then).
+func (s *CountStream) Count() (count uint64, exact bool) {
+	s.Close()
+	if s.bc != nil {
+		t := s.bc.total()
+		if t.IsUint64() {
+			return t.Uint64(), true
+		}
+		return 0, false
+	}
+	return s.c.total()
+}
+
+// CountBig returns the exact |⟦A⟧d| with arbitrary-precision arithmetic.
+func (s *CountStream) CountBig() *big.Int {
+	s.Close()
+	if s.bc != nil {
+		return s.bc.total()
+	}
+	if n, exact := s.c.total(); exact {
+		return new(big.Int).SetUint64(n)
+	}
+	// The totals sum itself overflowed even though every per-state count
+	// fit; re-sum the final counts in big arithmetic.
+	total := new(big.Int)
+	var t big.Int
+	for _, q := range s.c.live {
+		if s.a.Accepting(q) {
+			total.Add(total, t.SetUint64(s.c.counts[q]))
+		}
+	}
+	return total
 }

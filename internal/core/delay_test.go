@@ -1,0 +1,83 @@
+package core_test
+
+import (
+	"testing"
+
+	"spanners/internal/core"
+	"spanners/internal/gen"
+)
+
+// maxStepGap enumerates up to maxOutputs of res and returns the largest
+// per-output Steps() delta — the structural delay — plus the output count.
+func maxStepGap(res *core.Result, maxOutputs int) (maxGap uint64, outputs int) {
+	it := res.Iterator()
+	var last uint64
+	for outputs < maxOutputs {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		gap := it.Steps() - last
+		last = it.Steps()
+		if gap > maxGap {
+			maxGap = gap
+		}
+		outputs++
+	}
+	return maxGap, outputs
+}
+
+// TestConstantDelayAcrossWorkloads is the structural regression test for
+// the paper's headline guarantee: the number of elementary traversal steps
+// between consecutive outputs is O(ℓ) in the number of variables and does
+// not grow with the document. Each workload is evaluated at increasing
+// document sizes; the max per-output gap must stay flat across sizes and
+// under an absolute budget linear in ℓ.
+func TestConstantDelayAcrossWorkloads(t *testing.T) {
+	// Each output consumes at most 2ℓ markers along a DAG path, and the
+	// traversal performs a bounded number of stack operations per marker
+	// set plus constant overhead per output; delayBudget is deliberately
+	// generous so only real (asymptotic) regressions trip it.
+	delayBudget := func(vars int) uint64 { return uint64(8 * (2*vars + 2)) }
+	const maxOutputs = 4000 // nested workloads have Θ(n^2ℓ) outputs; sample a prefix
+
+	workloads := []struct {
+		name    string
+		pattern string
+		doc     func(n int) []byte
+	}{
+		{"nested2/random", gen.NestedPattern(2), func(n int) []byte { return gen.RandomDoc(n, "ab", 1) }},
+		{"nested2/dense", gen.NestedPattern(2), func(n int) []byte { return gen.DenseMarkers(n, 2) }},
+		{"nested3/dense", gen.NestedPattern(3), func(n int) []byte { return gen.DenseMarkers(n, 3) }},
+		{"figure1/contacts", gen.Figure1Pattern(), func(n int) []byte { return gen.Contacts(n/20+1, 4) }},
+	}
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			d := pipeline(t, w.pattern)
+			vars := d.Registry().Len()
+			budget := delayBudget(vars)
+			// The smallest size is a warm-up: a document with only a
+			// couple of outputs under-samples the steady-state gap, so
+			// non-growth is enforced from the second size on.
+			var prevMax uint64
+			for i, n := range []int{16, 32, 64, 128} {
+				doc := w.doc(n)
+				res := core.Evaluate(d, doc)
+				maxGap, outputs := maxStepGap(res, maxOutputs)
+				if outputs == 0 {
+					t.Fatalf("n=%d: no outputs; workload is vacuous", n)
+				}
+				if maxGap > budget {
+					t.Fatalf("n=%d: max delay gap %d exceeds the O(ℓ) budget %d (ℓ=%d)",
+						n, maxGap, budget, vars)
+				}
+				if i >= 2 && maxGap > prevMax {
+					t.Fatalf("n=%d: max delay gap %d grew beyond %d — delay is not constant in the document",
+						n, maxGap, prevMax)
+				}
+				if maxGap > prevMax {
+					prevMax = maxGap
+				}
+			}
+		})
+	}
+}

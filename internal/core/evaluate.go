@@ -8,6 +8,10 @@ import (
 // plus the node lists of the accepting states. It supports repeated
 // enumeration (each Iterator/Enumerate call walks the same DAG) and owns
 // the arena backing the DAG.
+//
+// A Result produced through a Scratch (EvaluateScratch, NewStream with a
+// non-nil scratch) borrows the scratch's arena and is invalidated the next
+// time the scratch is used; see Scratch.
 type Result struct {
 	reg    *model.Registry
 	finals []list
@@ -23,34 +27,28 @@ type Result struct {
 // Capturing(n+1). Time is O(|a| × |doc|); both procedures touch each
 // transition of each live state once per position and manipulate list
 // pointers in O(1).
+//
+// Evaluate is the whole-document form of the incremental Stream: it feeds
+// doc in one piece and closes. The Result borrows doc (it is not copied).
 func Evaluate(a Automaton, doc []byte) *Result {
-	e := &evaluation{
-		a:  a,
-		ar: &arena{},
-	}
-	e.bottom = e.ar.newNode(model.Set{}, 0, list{})
-
-	q0 := a.Initial()
-	e.ensure(q0)
-	e.lists[q0].add(e.bottom, e.ar)
-	e.live = append(e.live, q0)
-
-	for i := 1; i <= len(doc); i++ {
-		e.capturing(i)
-		e.reading(i, doc[i-1])
-	}
-	e.capturing(len(doc) + 1)
-
-	res := &Result{reg: a.Registry(), ar: e.ar, doc: doc}
-	for _, q := range e.live {
-		if a.Accepting(q) {
-			res.finals = append(res.finals, e.lists[q])
-		}
-	}
-	return res
+	return EvaluateScratch(a, doc, nil)
 }
 
-// evaluation is the mutable state of one Evaluate call.
+// EvaluateScratch is Evaluate with reusable per-document scratch state. A
+// nil scratch is allowed and behaves like Evaluate. With a non-nil scratch
+// the returned Result points into the scratch's arena: it is valid only
+// until the scratch's next use, so the caller must fully consume (or
+// Collect) it first.
+func EvaluateScratch(a Automaton, doc []byte, sc *Scratch) *Result {
+	s := NewStream(a, sc)
+	s.process(doc)
+	s.buf = doc // the Result borrows the caller's document, as before
+	return s.Close()
+}
+
+// evaluation is the mutable state of one preprocessing pass. It is
+// embedded in Scratch so that its tables — and the arena holding the DAG —
+// can be recycled across documents.
 type evaluation struct {
 	a      Automaton
 	ar     *arena
@@ -65,6 +63,27 @@ type evaluation struct {
 	// construction during reading.
 	olds     []list
 	nextLive []int
+}
+
+// init prepares the evaluation for a fresh document, recycling the arena
+// chunks and table capacities left over from a previous pass.
+func (e *evaluation) init(a Automaton) {
+	e.a = a
+	if e.ar == nil {
+		e.ar = &arena{}
+	} else {
+		e.ar.reset()
+	}
+	e.lists = e.lists[:0]
+	e.live = e.live[:0]
+	e.olds = e.olds[:0]
+	e.nextLive = e.nextLive[:0]
+	e.bottom = e.ar.newNode(model.Set{}, 0, list{})
+
+	q0 := a.Initial()
+	e.ensure(q0)
+	e.lists[q0].add(e.bottom, e.ar)
+	e.live = append(e.live, q0)
 }
 
 // ensure grows the per-state tables to cover state id q; states can be

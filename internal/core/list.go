@@ -66,18 +66,36 @@ func (l *list) appendList(o list) {
 // arena bump-allocates nodes and elements in fixed-size chunks so that the
 // preprocessing loop performs O(1) amortized allocations per created node,
 // and the whole DAG is released as a unit when the Result is dropped.
+//
+// Retired chunks are kept on used lists so that reset can move them to a
+// free list instead of surrendering them to the garbage collector: a reused
+// arena reaches its high-water mark once and then evaluates further
+// documents without allocating. Reset must only run once every Result
+// pointing into the arena has been fully consumed (see Scratch).
 type arena struct {
 	nodes  []node
 	elems  []element
 	nNodes int
 	nElems int
+	// usedN/usedE hold the filled chunks of the current pass; freeN/freeE
+	// hold empty chunks recycled from previous passes.
+	usedN, freeN [][]node
+	usedE, freeE [][]element
 }
 
 const arenaChunk = 4096
 
 func (a *arena) newNode(set model.Set, pos int, adj list) *node {
 	if len(a.nodes) == cap(a.nodes) {
-		a.nodes = make([]node, 0, arenaChunk)
+		if cap(a.nodes) > 0 {
+			a.usedN = append(a.usedN, a.nodes)
+		}
+		if n := len(a.freeN); n > 0 {
+			a.nodes = a.freeN[n-1]
+			a.freeN = a.freeN[:n-1]
+		} else {
+			a.nodes = make([]node, 0, arenaChunk)
+		}
 	}
 	a.nodes = append(a.nodes, node{set: set, pos: pos, list: adj})
 	a.nNodes++
@@ -86,9 +104,40 @@ func (a *arena) newNode(set model.Set, pos int, adj list) *node {
 
 func (a *arena) newElement(n *node, next *element) *element {
 	if len(a.elems) == cap(a.elems) {
-		a.elems = make([]element, 0, arenaChunk)
+		if cap(a.elems) > 0 {
+			a.usedE = append(a.usedE, a.elems)
+		}
+		if n := len(a.freeE); n > 0 {
+			a.elems = a.freeE[n-1]
+			a.freeE = a.freeE[:n-1]
+		} else {
+			a.elems = make([]element, 0, arenaChunk)
+		}
 	}
 	a.elems = append(a.elems, element{n: n, next: next})
 	a.nElems++
 	return &a.elems[len(a.elems)-1]
+}
+
+// reset recycles every chunk for a fresh pass. Chunk contents are not
+// zeroed — each cell is fully overwritten when reallocated — so reset is
+// O(number of chunks), not O(nodes).
+func (a *arena) reset() {
+	if cap(a.nodes) > 0 {
+		a.freeN = append(a.freeN, a.nodes[:0])
+		a.nodes = nil
+	}
+	for _, c := range a.usedN {
+		a.freeN = append(a.freeN, c[:0])
+	}
+	a.usedN = a.usedN[:0]
+	if cap(a.elems) > 0 {
+		a.freeE = append(a.freeE, a.elems[:0])
+		a.elems = nil
+	}
+	for _, c := range a.usedE {
+		a.freeE = append(a.freeE, c[:0])
+	}
+	a.usedE = a.usedE[:0]
+	a.nNodes, a.nElems = 0, 0
 }

@@ -1,0 +1,113 @@
+package core
+
+// Stream is the incremental form of Algorithm 1: the same alternation of
+// Capturing(i) and Reading(i) as Evaluate, but driven chunk-by-chunk so a
+// document can be preprocessed as it arrives from the network or a pipe.
+// The preprocessing pass is a single left-to-right scan, so streaming needs
+// no lookahead and no re-reading: Feed advances the pass over each chunk,
+// and Close runs the final Capturing(n+1) and assembles the Result.
+//
+//	s := core.NewStream(a, nil)
+//	for each chunk { s.Feed(chunk) }
+//	res := s.Close()
+//
+// The document bytes are retained internally (the output mappings' spans
+// refer to them), so streaming bounds neither the DAG nor the document
+// memory — it bounds latency: evaluation work is done by the time the last
+// chunk arrives. A Stream is not goroutine-safe.
+type Stream struct {
+	e      *evaluation
+	sc     *Scratch
+	buf    []byte
+	pos    int
+	closed bool
+	res    *Result
+}
+
+// Scratch holds the reusable per-document state of a preprocessing pass:
+// the Algorithm 1 tables and the arena backing the DAG. Reusing a Scratch
+// across documents recycles the arena chunks, so compile-once/evaluate-many
+// workloads stop paying the per-document allocation of the DAG.
+//
+// Ownership rule: a Result obtained through a Scratch points into the
+// scratch's arena and is invalidated by the scratch's next use. Consume the
+// Result completely (Enumerate, Collect, Count the matches) before reusing
+// the scratch; mappings must be Cloned to outlive it (their clones hold
+// plain span integers, not arena pointers). A Scratch is not goroutine-safe;
+// pool one per worker (see the spanner facade's sync.Pool).
+type Scratch struct {
+	eval evaluation
+}
+
+// NewStream starts an incremental preprocessing pass of a over a document
+// to be delivered via Feed. sc may be nil; when non-nil, its tables and
+// arena are recycled and the eventual Result is valid only until the
+// scratch's next use.
+func NewStream(a Automaton, sc *Scratch) *Stream {
+	var e *evaluation
+	if sc != nil {
+		e = &sc.eval
+	} else {
+		e = &evaluation{}
+	}
+	e.init(a)
+	return &Stream{e: e, sc: sc}
+}
+
+// Feed advances the pass over the next chunk of the document. The chunk is
+// copied into the stream's internal document buffer, so the caller may
+// reuse it immediately. Feed panics if the stream is already closed.
+func (s *Stream) Feed(chunk []byte) {
+	if s.closed {
+		panic("core: Stream.Feed after Close")
+	}
+	s.buf = append(s.buf, chunk...)
+	s.process(chunk)
+}
+
+// process runs Capturing/Reading over chunk without touching the document
+// buffer; Evaluate uses it directly to borrow the caller's slice instead of
+// copying.
+func (s *Stream) process(chunk []byte) {
+	for i, c := range chunk {
+		if len(s.e.live) == 0 {
+			// No state is live, and liveness can only shrink: the result is
+			// already known to be empty, so the rest of the document only
+			// advances the position.
+			s.pos += len(chunk) - i
+			return
+		}
+		s.pos++
+		s.e.capturing(s.pos)
+		s.e.reading(s.pos, c)
+	}
+}
+
+// Pos returns the number of document bytes consumed so far.
+func (s *Stream) Pos() int { return s.pos }
+
+// Dead reports whether no automaton state is live: every run has died, so
+// the eventual Result is guaranteed empty regardless of further input.
+// Callers may use this to stop feeding early.
+func (s *Stream) Dead() bool { return len(s.e.live) == 0 }
+
+// Close runs the final Capturing(n+1) and returns the preprocessing
+// Result. Close is idempotent: subsequent calls return the same Result.
+// If the stream was created with a Scratch, the Result is valid only until
+// the scratch's next use.
+func (s *Stream) Close() *Result {
+	if s.closed {
+		return s.res
+	}
+	s.closed = true
+	e := s.e
+	e.capturing(s.pos + 1)
+	res := &Result{reg: e.a.Registry(), ar: e.ar, doc: s.buf}
+	for _, q := range e.live {
+		if e.a.Accepting(q) {
+			res.finals = append(res.finals, e.lists[q])
+		}
+	}
+	s.res = res
+	return res
+}

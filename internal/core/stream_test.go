@@ -1,0 +1,215 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"spanners/internal/core"
+	"spanners/internal/gen"
+	"spanners/internal/rgx"
+)
+
+// chunks splits doc into pseudo-random pieces (including empty ones) so the
+// streaming tests exercise arbitrary Feed boundaries.
+func chunks(doc []byte, rng *rand.Rand) [][]byte {
+	var out [][]byte
+	for i := 0; i < len(doc); {
+		n := rng.Intn(len(doc) - i + 1)
+		out = append(out, doc[i:i+n])
+		i += n
+		if rng.Intn(8) == 0 {
+			out = append(out, nil) // empty Feed must be a no-op
+		}
+	}
+	return out
+}
+
+func TestStreamMatchesEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	cases := []struct {
+		pattern string
+		docs    [][]byte
+	}{
+		{gen.Figure1Pattern(), [][]byte{
+			nil,
+			[]byte("a"),
+			gen.Figure1Doc(),
+			gen.Contacts(20, 3),
+			gen.RandomDoc(200, "ab <>@.-", 5),
+		}},
+		// The nested pattern has Θ(n⁴) outputs: keep its documents small
+		// enough to Collect.
+		{gen.NestedPattern(2), [][]byte{nil, gen.RandomDoc(12, "ab", 4)}},
+		{`.*!w{[a-z]+}.*`, [][]byte{[]byte("some words in here"), gen.RandomDoc(64, "ab ", 6)}},
+	}
+	for _, tc := range cases {
+		pattern := tc.pattern
+		d := pipeline(t, pattern)
+		for _, doc := range tc.docs {
+			want := core.Evaluate(d, doc).Collect()
+			for trial := 0; trial < 5; trial++ {
+				s := core.NewStream(d, nil)
+				for _, c := range chunks(doc, rng) {
+					s.Feed(c)
+				}
+				res := s.Close()
+				if got := res.Collect(); !got.Equal(want) {
+					t.Fatalf("pattern %q doc %q trial %d: stream disagrees:\n%v",
+						pattern, doc, trial, want.Diff(got, 10))
+				}
+				if string(res.Document()) != string(doc) {
+					t.Fatalf("Document() = %q, want %q", res.Document(), doc)
+				}
+				if res.Document() != nil && len(doc) > 0 && &res.Document()[0] == &doc[0] {
+					t.Fatal("stream must own its document buffer, not alias the chunks")
+				}
+			}
+		}
+	}
+}
+
+func TestStreamByteAtATime(t *testing.T) {
+	a := gen.Figure3EVA()
+	doc := []byte("ab")
+	s := core.NewStream(a, nil)
+	for i := range doc {
+		s.Feed(doc[i : i+1])
+		if s.Pos() != i+1 {
+			t.Fatalf("Pos = %d after %d bytes", s.Pos(), i+1)
+		}
+	}
+	got := s.Close().Collect()
+	want := core.Evaluate(a, doc).Collect()
+	if !got.Equal(want) {
+		t.Fatalf("byte-at-a-time stream disagrees:\n%v", want.Diff(got, 10))
+	}
+}
+
+func TestStreamCloseIdempotentAndFeedPanics(t *testing.T) {
+	a := gen.Figure3EVA()
+	s := core.NewStream(a, nil)
+	s.Feed([]byte("ab"))
+	r1 := s.Close()
+	if r2 := s.Close(); r2 != r1 {
+		t.Fatal("Close must be idempotent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Feed after Close must panic")
+		}
+	}()
+	s.Feed([]byte("x"))
+}
+
+func TestStreamDeadShortcut(t *testing.T) {
+	// Figure3EVA dies on 'z'; the stream must report it, still account for
+	// the remaining bytes, and keep the full document.
+	a := gen.Figure3EVA()
+	s := core.NewStream(a, nil)
+	s.Feed([]byte("az"))
+	if !s.Dead() {
+		t.Fatal("expected Dead after the run-killing byte")
+	}
+	s.Feed([]byte("abababab"))
+	if s.Pos() != 10 {
+		t.Fatalf("Pos = %d, want 10", s.Pos())
+	}
+	res := s.Close()
+	if !res.IsEmpty() {
+		t.Fatal("dead stream must produce the empty result")
+	}
+	if string(res.Document()) != "azabababab" {
+		t.Fatalf("Document() = %q", res.Document())
+	}
+}
+
+func TestScratchReuse(t *testing.T) {
+	d := pipeline(t, gen.Figure1Pattern())
+	sc := &core.Scratch{}
+	docs := [][]byte{
+		gen.Figure1Doc(),
+		gen.Contacts(5, 1),
+		nil,
+		gen.Contacts(40, 2),
+		[]byte("no matches here"),
+		gen.Figure1Doc(),
+	}
+	for i, doc := range docs {
+		want := core.Evaluate(d, doc).Collect()
+		got := core.EvaluateScratch(d, doc, sc).Collect()
+		if !got.Equal(want) {
+			t.Fatalf("doc %d: scratch reuse disagrees:\n%v", i, want.Diff(got, 10))
+		}
+	}
+}
+
+func TestScratchReuseStopsAllocating(t *testing.T) {
+	// After the arena reaches its high-water mark, evaluating the same
+	// document through the scratch must recycle every chunk.
+	d := pipeline(t, gen.Figure1Pattern())
+	doc := gen.Contacts(200, 9)
+	sc := &core.Scratch{}
+	core.EvaluateScratch(d, doc, sc) // warm the arena
+	allocs := testing.AllocsPerRun(20, func() {
+		res := core.EvaluateScratch(d, doc, sc)
+		if res.IsEmpty() {
+			t.Fatal("expected matches")
+		}
+	})
+	// A handful of fixed-size allocations (Stream, Result headers) remain;
+	// the point is that the ~hundreds of arena chunks do not.
+	if allocs > 10 {
+		t.Fatalf("scratch reuse still allocates %.0f objects per evaluation", allocs)
+	}
+}
+
+func TestCountStreamMatchesCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for _, pattern := range []string{gen.Figure1Pattern(), gen.NestedPattern(2)} {
+		d := pipeline(t, pattern)
+		for _, doc := range [][]byte{nil, gen.Figure1Doc(), gen.Contacts(30, 4)} {
+			wantN, wantExact := core.Count(d, doc)
+			for trial := 0; trial < 5; trial++ {
+				s := core.NewCountStream(d)
+				for _, c := range chunks(doc, rng) {
+					s.Feed(c)
+				}
+				gotN, gotExact := s.Count()
+				if gotN != wantN || gotExact != wantExact {
+					t.Fatalf("pattern %q doc %q: CountStream = (%d, %v), want (%d, %v)",
+						pattern, doc, gotN, gotExact, wantN, wantExact)
+				}
+				if big := s.CountBig(); big.Uint64() != wantN {
+					t.Fatalf("CountBig = %v, want %d", big, wantN)
+				}
+			}
+		}
+	}
+}
+
+func TestCountStreamOverflowMigration(t *testing.T) {
+	// 12 nested variables over 60 bytes overflows uint64 mid-stream; the
+	// hybrid counter must migrate to big integers and stay exact.
+	node := rgx.MustParse(gen.NestedPattern(12))
+	v, err := rgx.Compile(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := v.ToExtended().Determinize()
+	doc := gen.RandomDoc(60, "a", 1)
+	want := core.CountBig(d, doc)
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		s := core.NewCountStream(d)
+		for _, c := range chunks(doc, rng) {
+			s.Feed(c)
+		}
+		if _, exact := s.Count(); exact {
+			t.Fatal("expected uint64 overflow")
+		}
+		if got := s.CountBig(); got.Cmp(want) != 0 {
+			t.Fatalf("trial %d: CountBig = %v, want %v", trial, got, want)
+		}
+	}
+}

@@ -101,3 +101,22 @@ func LogDoc(n int, seed int64) []byte {
 	}
 	return b.Bytes()
 }
+
+// DenseMarkers returns an adversarial high-marker-density document for the
+// nested-variable workloads: a near-uniform run of 'a's (with about one 'b'
+// in eight to vary list lengths) over which NestedPattern's capture
+// transitions fire at every position, driving the reverse-dual DAG to its
+// densest shape. It is the stress document for the structural
+// constant-delay regression tests.
+func DenseMarkers(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	for i := range out {
+		if rng.Intn(8) == 0 {
+			out[i] = 'b'
+		} else {
+			out[i] = 'a'
+		}
+	}
+	return out
+}

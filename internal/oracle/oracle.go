@@ -1,0 +1,94 @@
+// Package oracle is a brute-force reference evaluator for deterministic
+// sequential extended VA: it computes ⟦A⟧d by enumerating every candidate
+// marker placement and testing each one by direct simulation, using none of
+// the machinery under test (no reverse-dual DAG, no node lists, no lazy
+// copies). Its cost is exponential in the number of variables and
+// polynomial of high degree in |d|, so it is strictly a ground truth for
+// small documents in differential tests — the correctness discipline that
+// keeps the optimized evaluation paths honest as they multiply.
+package oracle
+
+import (
+	"spanners/internal/core"
+	"spanners/internal/model"
+)
+
+// Matches reports whether µ ∈ ⟦A⟧d, by forced simulation. A mapping fixes
+// the complete marker placement of any run producing it: at each position
+// i the run must take exactly the capture transition labeled with the set
+// of markers µ places at i (its opens with Start == i, its closes with
+// End == i), or no capture transition when that set is empty — runs take
+// at most one extended transition per position. Because a is
+// deterministic (at most one capture successor per exact marker set, at
+// most one letter successor per byte), the simulation never branches:
+// Matches runs in O(|d| × |a|) with no search.
+func Matches(a core.Automaton, doc []byte, m *model.Mapping) bool {
+	reg := a.Registry()
+	n := len(doc)
+	q := a.Initial()
+	for pos := 1; pos <= n+1; pos++ {
+		var s model.Set
+		for v := 0; v < reg.Len(); v++ {
+			sp, ok := m.Get(model.Var(v))
+			if !ok {
+				continue
+			}
+			if sp.Start == pos {
+				s = s.With(model.Open(model.Var(v)))
+			}
+			if sp.End == pos {
+				s = s.With(model.CloseOf(model.Var(v)))
+			}
+		}
+		if !s.IsEmpty() {
+			found := false
+			for _, t := range a.Captures(q) {
+				if t.S == s {
+					q = t.To
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		if pos <= n {
+			var ok bool
+			q, ok = a.Step(q, doc[pos-1])
+			if !ok {
+				return false
+			}
+		}
+	}
+	return a.Accepting(q)
+}
+
+// Enumerate computes ⟦A⟧d naively: every variable independently ranges over
+// "unassigned" and every span [i, j⟩ with 1 ≤ i ≤ j ≤ |d|+1, and each of
+// the ((|d|+1)(|d|+2)/2 + 1)^ℓ candidate mappings is tested with Matches.
+func Enumerate(a core.Automaton, doc []byte) *model.MappingSet {
+	reg := a.Registry()
+	out := model.NewMappingSet()
+	n := len(doc)
+	m := model.NewMapping(reg)
+	var rec func(v int)
+	rec = func(v int) {
+		if v == reg.Len() {
+			if Matches(a, doc, m) {
+				out.Add(m.Clone())
+			}
+			return
+		}
+		rec(v + 1) // v ∉ dom(µ)
+		for i := 1; i <= n+1; i++ {
+			for j := i; j <= n+1; j++ {
+				m.Assign(model.Var(v), model.Span{Start: i, End: j})
+				rec(v + 1)
+			}
+		}
+		m.Unassign(model.Var(v))
+	}
+	rec(0)
+	return out
+}

@@ -4,7 +4,7 @@
 set -e
 cd "$(dirname "$0")/.."
 
-go test -run='^$' -bench=. -benchtime="${BENCHTIME:-500ms}" ./spanner/ |
+go test -run='^$' -bench=. -benchtime="${BENCHTIME:-500ms}" ./spanner/ ./engine/ |
 awk -v go="$(go version | awk '{print $3}')" \
     -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 /^cpu:/ {

@@ -1,0 +1,172 @@
+package spanner_test
+
+// Go-native fuzz targets for the differential-testing harness. Both
+// targets also run their seed corpus under plain `go test`, so the
+// equivalences below are checked on every CI run; `go test -fuzz=...`
+// explores further. The properties:
+//
+//   - FuzzStrictLazyEquivalence: strict (dense-table) and lazy
+//     (on-the-fly) determinization produce identical mapping sets for
+//     random regex formulas (order may differ: their subset automata
+//     number states differently), and identical counts when enumeration
+//     would be too large.
+//   - FuzzStreamChunking: EnumerateReader over any chunking of a document
+//     is byte-identical to Enumerate over the concatenation.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spanners/internal/gen"
+	"spanners/spanner"
+)
+
+// fuzzPatterns are the fixed patterns FuzzStreamChunking draws from,
+// compiled once. The nested pattern has Θ(n⁴) outputs, so documents fed to
+// it are truncated harder (see docCap).
+var fuzzPatterns = []struct {
+	s      *spanner.Spanner
+	lazy   *spanner.Spanner
+	docCap int
+}{
+	{spanner.MustCompile(gen.Figure1Pattern()), spanner.MustCompile(gen.Figure1Pattern(), spanner.WithLazy()), 1 << 11},
+	{spanner.MustCompile(`.*!w{[a-z]+}.*`), spanner.MustCompile(`.*!w{[a-z]+}.*`, spanner.WithLazy()), 512},
+	{spanner.MustCompile(`(!x{(a|b)+}c?)*`), spanner.MustCompile(`(!x{(a|b)+}c?)*`, spanner.WithLazy()), 256},
+	{spanner.MustCompile(gen.NestedPattern(2)), spanner.MustCompile(gen.NestedPattern(2), spanner.WithLazy()), 20},
+}
+
+// chunkedKeys streams doc through EnumerateReader in pseudo-random chunks
+// and returns the ordered match keys.
+func chunkedKeys(t *testing.T, s *spanner.Spanner, doc []byte, rng *rand.Rand) []string {
+	t.Helper()
+	var sizes []int
+	for rem := len(doc); rem > 0; {
+		n := 1 + rng.Intn(rem)
+		sizes = append(sizes, n)
+		rem -= n
+	}
+	r := &randChunkReader{data: doc, sizes: sizes}
+	var got []string
+	if err := s.EnumerateReader(r, func(m *spanner.Match) bool {
+		got = append(got, m.Key())
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// randChunkReader delivers data according to a precomputed size schedule.
+type randChunkReader struct {
+	data  []byte
+	sizes []int
+}
+
+func (r *randChunkReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.EOF
+	}
+	n := len(r.data)
+	if len(r.sizes) > 0 {
+		n = r.sizes[0]
+	}
+	n = min(n, min(len(p), len(r.data)))
+	if len(r.sizes) > 0 {
+		if r.sizes[0] -= n; r.sizes[0] == 0 {
+			r.sizes = r.sizes[1:]
+		}
+	}
+	copy(p, r.data[:n])
+	r.data = r.data[n:]
+	return n, nil
+}
+
+func FuzzStreamChunking(f *testing.F) {
+	f.Add(uint8(0), []byte("John <j@g.be>, Jane <555-12>"), uint64(1))
+	f.Add(uint8(1), []byte("some words in here"), uint64(7))
+	f.Add(uint8(2), []byte("abcbacab"), uint64(42))
+	f.Add(uint8(3), []byte("aabbaab"), uint64(3))
+	f.Add(uint8(0), []byte(""), uint64(0))
+	f.Fuzz(func(t *testing.T, patIdx uint8, doc []byte, chunkSeed uint64) {
+		p := fuzzPatterns[int(patIdx)%len(fuzzPatterns)]
+		if len(doc) > p.docCap {
+			doc = doc[:p.docCap]
+		}
+		var want []string
+		p.s.Enumerate(doc, func(m *spanner.Match) bool {
+			want = append(want, m.Key())
+			return true
+		})
+		rng := rand.New(rand.NewSource(int64(chunkSeed)))
+		for trial := 0; trial < 3; trial++ {
+			got := chunkedKeys(t, p.s, doc, rng)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("chunked streaming diverged from whole-document evaluation\ndoc %q\ngot  %v\nwant %v",
+					doc, got, want)
+			}
+		}
+		// The lazy backend must agree on the same chunking too.
+		if got := chunkedKeys(t, p.lazy, doc, rng); fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("lazy streaming diverged\ndoc %q\ngot  %v\nwant %v", doc, got, want)
+		}
+	})
+}
+
+func FuzzStrictLazyEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint8(2), []byte("abab"))
+	f.Add(uint64(99), uint8(3), []byte("aaaa"))
+	f.Add(uint64(7), uint8(1), []byte(""))
+	f.Add(uint64(1234), uint8(3), []byte("babab"))
+	f.Fuzz(func(t *testing.T, patSeed uint64, depth uint8, raw []byte) {
+		node := gen.RandomRGX(rand.New(rand.NewSource(int64(patSeed))), int(depth%4)+1, []string{"x", "y"}, "ab")
+		strict, err := spanner.CompileNode(node, spanner.WithStrict())
+		if err != nil {
+			t.Skip() // e.g. dense compilation limits
+		}
+		lazy, err := spanner.CompileNode(node, spanner.WithLazy())
+		if err != nil {
+			t.Skip()
+		}
+		// Map the raw bytes onto the formula's alphabet so documents hit
+		// the automaton, and bound the length (outputs grow like n^(2ℓ)).
+		if len(raw) > 48 {
+			raw = raw[:48]
+		}
+		doc := make([]byte, len(raw))
+		for i, b := range raw {
+			doc[i] = 'a' + b%2
+		}
+
+		wantN, exactN := strict.Count(doc)
+		gotN, exactL := lazy.Count(doc)
+		if wantN != gotN || exactN != exactL {
+			t.Fatalf("counts diverge: strict (%d, %v), lazy (%d, %v)\npattern %s doc %q",
+				wantN, exactN, gotN, exactL, node, doc)
+		}
+		if !exactN || wantN > 20000 {
+			return // counting checked; enumeration would be unreasonably large
+		}
+		var want, got []string
+		strict.Enumerate(doc, func(m *spanner.Match) bool { want = append(want, m.Key()); return true })
+		lazy.Enumerate(doc, func(m *spanner.Match) bool { got = append(got, m.Key()); return true })
+		// Strict and lazy determinization number their subset states (and
+		// hence order capture transitions) differently, so the two modes
+		// agree on the mapping SET, not on enumeration order. Both are
+		// duplicate-free, so sorted keys compare the sets exactly.
+		sortedWant := append([]string(nil), want...)
+		sort.Strings(sortedWant)
+		sort.Strings(got)
+		if fmt.Sprint(got) != fmt.Sprint(sortedWant) {
+			t.Fatalf("enumerations diverge\npattern %s doc %q\nstrict %v\nlazy   %v", node, doc, sortedWant, got)
+		}
+		// And the streaming path over the strict backend, with a chunking
+		// derived from the same entropy.
+		rng := rand.New(rand.NewSource(int64(patSeed) ^ int64(len(raw))))
+		if chunked := chunkedKeys(t, strict, doc, rng); fmt.Sprint(chunked) != fmt.Sprint(want) {
+			t.Fatalf("stream chunking diverges\npattern %s doc %q", node, doc)
+		}
+	})
+}

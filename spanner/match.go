@@ -97,6 +97,52 @@ func (m *Match) Clone() *Match {
 	return c
 }
 
+// matchAlloc hands out Match values and span storage in chunks of
+// geometrically growing size, so collecting k matches costs O(log k)
+// allocations instead of 2k without over-allocating for small documents.
+// The handed-out matches remain immutable and independent; they merely
+// share backing arrays, so retaining one match keeps its chunk alive.
+type matchAlloc struct {
+	matches []Match
+	spans   []model.Span
+	next    int
+}
+
+func (a *matchAlloc) clone(m *Match) *Match {
+	nv := len(m.spans)
+	if len(a.matches) == 0 {
+		switch {
+		case a.next == 0:
+			a.next = 8
+		case a.next < 256:
+			a.next *= 2
+		}
+		a.matches = make([]Match, a.next)
+		a.spans = make([]model.Span, a.next*nv)
+	}
+	c := &a.matches[0]
+	a.matches = a.matches[1:]
+	*c = Match{doc: m.doc, names: m.names, reg: m.reg, spans: a.spans[:nv:nv]}
+	a.spans = a.spans[nv:]
+	copy(c.spans, m.spans)
+	return c
+}
+
+// Collect enumerates doc, appends an independent copy of every match to
+// dst and returns the extended slice. limit > 0 caps the number of
+// collected matches. Unlike Enumerate's scratch buffers, the returned
+// matches are retainable as-is; clone allocations are amortized across the
+// batch, which is what the engine package's workers rely on.
+func (s *Spanner) Collect(dst []*Match, doc []byte, limit int) []*Match {
+	var a matchAlloc
+	start := len(dst)
+	s.Enumerate(doc, func(m *Match) bool {
+		dst = append(dst, a.clone(m))
+		return limit == 0 || len(dst)-start < limit
+	})
+	return dst
+}
+
 // Key returns a canonical encoding of the match — assigned variables in
 // lexicographic order with 0-based spans. Two matches over the same
 // document are equal exactly when their keys are equal.

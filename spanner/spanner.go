@@ -113,6 +113,12 @@ type Spanner struct {
 
 	mu   sync.Mutex // guards lazy, whose memo tables mutate during evaluation
 	lazy *eva.Lazy  // lazy path; nil in strict mode
+
+	// scratch pools per-document evaluation state (Algorithm 1 tables plus
+	// the DAG arena) across the bounded-lifetime entry points (Enumerate,
+	// All, EnumerateReader, the engine package), so compile-once/
+	// evaluate-many workloads stop paying the per-document allocation.
+	scratch sync.Pool
 }
 
 // Compile parses pattern and compiles it into a reusable Spanner.
@@ -242,14 +248,17 @@ func (s *Spanner) Stats() Stats {
 	return st
 }
 
-// evaluate runs the Algorithm 1 preprocessing phase over doc.
-func (s *Spanner) evaluate(doc []byte) *core.Result {
+// evaluate runs the Algorithm 1 preprocessing phase over doc. When sc is
+// non-nil the pass reuses its tables and arena; the Result is then valid
+// only until the scratch's next use, so only the bounded-lifetime entry
+// points pass one (Iterator hands the Result to the caller and must not).
+func (s *Spanner) evaluate(doc []byte, sc *core.Scratch) *core.Result {
 	if s.lazy != nil {
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		return core.Evaluate(s.lazy, doc)
+		return core.EvaluateScratch(s.lazy, doc, sc)
 	}
-	return core.Evaluate(s.dense, doc)
+	return core.EvaluateScratch(s.dense, doc, sc)
 }
 
 // Iterator preprocesses doc (one O(|A|·|doc|) pass) and returns a pull
@@ -257,7 +266,9 @@ func (s *Spanner) evaluate(doc []byte) *core.Result {
 // in the document. The *Match returned by Next is a scratch buffer reused
 // across calls; Clone it to retain it.
 func (s *Spanner) Iterator(doc []byte) *Iterator {
-	res := s.evaluate(doc)
+	// No scratch: the Result escapes into the Iterator, whose lifetime the
+	// facade does not control.
+	res := s.evaluate(doc, nil)
 	return &Iterator{
 		it: res.Iterator(),
 		m:  newMatch(doc, s.vars, res.Registry()),
@@ -266,9 +277,21 @@ func (s *Spanner) Iterator(doc []byte) *Iterator {
 
 // Enumerate preprocesses doc and streams every match to yield, stopping
 // early when yield returns false. The *Match passed to yield is reused
-// across calls; Clone it to retain it.
+// across calls; Clone it to retain it (clones hold plain span offsets and
+// stay valid indefinitely).
 func (s *Spanner) Enumerate(doc []byte, yield func(*Match) bool) {
-	it := s.Iterator(doc)
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	s.drain(s.evaluate(doc, &sc.eval), yield)
+}
+
+// drain walks every output of a preprocessing Result through a fresh Match
+// scratch buffer, stopping early when yield returns false.
+func (s *Spanner) drain(res *core.Result, yield func(*Match) bool) {
+	it := &Iterator{
+		it: res.Iterator(),
+		m:  newMatch(res.Document(), s.vars, res.Registry()),
+	}
 	for {
 		m, ok := it.Next()
 		if !ok {

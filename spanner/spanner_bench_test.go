@@ -12,6 +12,7 @@ package spanner_test
 // BENCH_spanner.json.
 
 import (
+	"io"
 	"testing"
 
 	"spanners/internal/core"
@@ -168,4 +169,59 @@ func BenchmarkFacadeEnumerate(b *testing.B) {
 			}
 		})
 	}
+}
+
+// chunkedBenchReader replays a document in fixed-size chunks for the
+// streaming benchmarks.
+type chunkedBenchReader struct {
+	data []byte
+	pos  int
+	size int
+}
+
+func (r *chunkedBenchReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := min(r.size, min(len(p), len(r.data)-r.pos))
+	copy(p, r.data[r.pos:r.pos+n])
+	r.pos += n
+	return n, nil
+}
+
+// BenchmarkStreamingThroughput measures the incremental evaluation path —
+// EnumerateReader with chunked input and CountReader's never-materialized
+// counting pass — against the whole-document facade entries above.
+func BenchmarkStreamingThroughput(b *testing.B) {
+	s := spanner.MustCompile(gen.Figure1Pattern())
+	doc := benchScanDoc()
+	for _, size := range []int{4 << 10, 64 << 10} {
+		name := "enumerate/chunk4K"
+		if size == 64<<10 {
+			name = "enumerate/chunk64K"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(doc)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				err := s.EnumerateReader(&chunkedBenchReader{data: doc, size: size}, func(*spanner.Match) bool {
+					n++
+					return true
+				})
+				if err != nil || n == 0 {
+					b.Fatalf("n=%d err=%v", n, err)
+				}
+			}
+		})
+	}
+	b.Run("count/chunk64K", func(b *testing.B) {
+		b.SetBytes(int64(len(doc)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := s.CountReader(&chunkedBenchReader{data: doc, size: 64 << 10}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

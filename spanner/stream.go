@@ -1,0 +1,228 @@
+// Reader-based evaluation: the Algorithm 1 preprocessing phase is a single
+// left-to-right scan, so a Spanner can consume a document incrementally
+// from an io.Reader — chunks are evaluated as they arrive, and enumeration
+// starts the moment the input ends. The document bytes are retained (the
+// output spans refer to them), so what streaming buys is latency and the
+// elimination of a separate read-everything-first pass, not peak memory:
+// the DAG is proportional to the document either way.
+package spanner
+
+import (
+	"io"
+	"iter"
+	"math/big"
+
+	"spanners/internal/core"
+)
+
+// readChunk is the Read granularity of the Reader-based entry points.
+const readChunk = 64 << 10
+
+// evalScratch bundles the pooled per-document state: the core evaluation
+// scratch (Algorithm 1 tables + DAG arena) and the Read buffer of the
+// Reader-based entry points.
+type evalScratch struct {
+	eval core.Scratch
+	rbuf []byte
+}
+
+func (s *Spanner) getScratch() *evalScratch {
+	if v := s.scratch.Get(); v != nil {
+		return v.(*evalScratch)
+	}
+	return &evalScratch{}
+}
+
+func (s *Spanner) putScratch(sc *evalScratch) { s.scratch.Put(sc) }
+
+// lockLazy serializes against other evaluations in lazy mode (the
+// on-the-fly determinizer's memo tables mutate during the pass, and even
+// read paths observe its growing state table). It returns the matching
+// unlock, a no-op in strict mode. Locking per chunk rather than per
+// document keeps the lock from being held across Reads.
+func (s *Spanner) lockLazy() (unlock func()) {
+	if s.lazy == nil {
+		return func() {}
+	}
+	s.mu.Lock()
+	return s.mu.Unlock
+}
+
+// pump reads r in chunks through the scratch's read buffer and hands each
+// chunk to feed under the lazy lock. The chunk is only valid during the
+// feed call.
+func (s *Spanner) pump(r io.Reader, sc *evalScratch, feed func(chunk []byte)) error {
+	if sc.rbuf == nil {
+		sc.rbuf = make([]byte, readChunk)
+	}
+	for {
+		n, err := r.Read(sc.rbuf)
+		if n > 0 {
+			unlock := s.lockLazy()
+			feed(sc.rbuf[:n])
+			unlock()
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// streamResult pumps r through an incremental preprocessing pass and
+// returns the closed Result. The document buffer the Result borrows is
+// freshly allocated per call — never pooled — so Matches cloned by the
+// caller keep valid span text after the scratch is reused.
+func (s *Spanner) streamResult(r io.Reader, sc *evalScratch) (*core.Result, error) {
+	var st *core.Stream
+	unlock := s.lockLazy()
+	if s.lazy != nil {
+		st = core.NewStream(s.lazy, &sc.eval)
+	} else {
+		st = core.NewStream(s.dense, &sc.eval)
+	}
+	unlock()
+	if err := s.pump(r, sc, st.Feed); err != nil {
+		return nil, err
+	}
+	unlock = s.lockLazy()
+	defer unlock()
+	return st.Close(), nil
+}
+
+// EnumerateReader reads the document from r, evaluating it incrementally
+// as chunks arrive, and streams every match to yield once the input ends;
+// it stops early when yield returns false. The output is identical to
+// Enumerate over the concatenated input. The *Match passed to yield is
+// reused across calls; Clone it to retain it (clones stay valid after the
+// call returns). The only error returned is a read error from r.
+func (s *Spanner) EnumerateReader(r io.Reader, yield func(*Match) bool) error {
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	res, err := s.streamResult(r, sc)
+	if err != nil {
+		return err
+	}
+	s.drain(res, yield)
+	return nil
+}
+
+// AllReader returns a range-over-func iterator over the matches of the
+// document read from r:
+//
+//	for m, err := range s.AllReader(r) { ... }
+//
+// Matches are yielded with a nil error; a read error from r terminates the
+// sequence with a final (nil, err) pair. The *Match is reused across
+// iterations; Clone it to retain it.
+func (s *Spanner) AllReader(r io.Reader) iter.Seq2[*Match, error] {
+	return func(yield func(*Match, error) bool) {
+		stopped := false
+		err := s.EnumerateReader(r, func(m *Match) bool {
+			if !yield(m, nil) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil && !stopped {
+			yield(nil, err)
+		}
+	}
+}
+
+// countStream pumps r through an incremental counting pass (Theorem 5.1);
+// unlike EnumerateReader it retains no document bytes at all. It borrows a
+// pooled scratch for the read buffer only. total runs under the lazy lock
+// (totaling reads the shared automaton's state table).
+func (s *Spanner) countStream(r io.Reader, total func(*core.CountStream)) error {
+	var cs *core.CountStream
+	unlock := s.lockLazy()
+	if s.lazy != nil {
+		cs = core.NewCountStream(s.lazy)
+	} else {
+		cs = core.NewCountStream(s.dense)
+	}
+	unlock()
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	if err := s.pump(r, sc, cs.Feed); err != nil {
+		return err
+	}
+	unlock = s.lockLazy()
+	defer unlock()
+	total(cs)
+	return nil
+}
+
+// CountReader returns |⟦A⟧d| for the document read from r, in one pass and
+// O(states) memory — the document is never materialized. exact is false
+// when the count overflowed uint64; CountBigReader is exact always.
+func (s *Spanner) CountReader(r io.Reader) (count uint64, exact bool, err error) {
+	err = s.countStream(r, func(cs *core.CountStream) {
+		count, exact = cs.Count()
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	return count, exact, nil
+}
+
+// Evaluation is a preprocessed document whose enumeration is deferred: the
+// O(|A|·|doc|) Algorithm 1 pass has run, and Enumerate replays the matches
+// with constant delay at any later point. It decouples where the two
+// phases run — the engine package preprocesses on worker goroutines and
+// enumerates on the consumer — while keeping the facade's pooled-scratch
+// economics: Release returns the evaluation state to the spanner's pool.
+//
+// An Evaluation is not goroutine-safe. After Release it must not be used.
+type Evaluation struct {
+	s   *Spanner
+	sc  *evalScratch
+	res *core.Result
+}
+
+// Preprocess runs the preprocessing pass over doc using pooled scratch and
+// returns the deferred evaluation. Call Enumerate (any number of times)
+// and then Release; a dropped Evaluation is safe but forgoes scratch
+// reuse.
+func (s *Spanner) Preprocess(doc []byte) *Evaluation {
+	sc := s.getScratch()
+	return &Evaluation{s: s, sc: sc, res: s.evaluate(doc, &sc.eval)}
+}
+
+// IsEmpty reports whether the document has no matches.
+func (e *Evaluation) IsEmpty() bool { return e.res.IsEmpty() }
+
+// Enumerate streams every match to yield, stopping early when yield
+// returns false. The *Match passed to yield is reused across calls; Clone
+// it to retain it.
+func (e *Evaluation) Enumerate(yield func(*Match) bool) {
+	e.s.drain(e.res, yield)
+}
+
+// Release returns the evaluation state to the spanner's scratch pool. The
+// Evaluation — and any un-Cloned *Match it yielded — is invalid afterwards.
+func (e *Evaluation) Release() {
+	if e.sc == nil {
+		return // already released
+	}
+	e.s.putScratch(e.sc)
+	e.sc = nil
+	e.res = nil
+}
+
+// CountBigReader is CountReader with arbitrary-precision arithmetic: the
+// single pass stays in uint64 until the first overflow and migrates to big
+// integers only then, so the common case pays nothing for exactness.
+func (s *Spanner) CountBigReader(r io.Reader) (n *big.Int, err error) {
+	err = s.countStream(r, func(cs *core.CountStream) {
+		n = cs.CountBig()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return n, nil
+}
