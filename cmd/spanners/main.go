@@ -29,7 +29,6 @@ import (
 	"io"
 	"os"
 	"strings"
-	"sync/atomic"
 
 	"spanners/engine"
 	"spanners/spanner"
@@ -103,7 +102,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	var matched bool
 	if *jobs > 1 && len(files) > 1 {
-		matched, err = runBatch(sp, files, *jobs, *countOnly, *limit, r)
+		matched, err = runBatch(sp, files, stdin, *jobs, *countOnly, *limit, r)
 	} else {
 		matched, err = runSerial(sp, inputs, stdin, *countOnly, *limit, r)
 	}
@@ -186,18 +185,42 @@ func processFile(sp *spanner.Spanner, name string, countOnly bool, limit int, r 
 	return matched, r.err
 }
 
+// batchLoader returns the document loader for a batch of FILE arguments.
+// A "-" argument means stdin, exactly as on the serial path: the first "-"
+// consumes the whole stream; any later "-" sees the drained reader, i.e. an
+// empty document. The first-"-" index is resolved up front so the
+// assignment stays deterministic however the concurrent loads interleave.
+func batchLoader(files []string, stdin io.Reader) func(engine.DocID) ([]byte, error) {
+	firstDash := -1
+	for i, name := range files {
+		if name == "-" {
+			firstDash = i
+			break
+		}
+	}
+	return func(i engine.DocID) ([]byte, error) {
+		if files[i] == "-" {
+			if int(i) != firstDash {
+				return nil, nil
+			}
+			return io.ReadAll(stdin)
+		}
+		return os.ReadFile(files[i])
+	}
+}
+
 // runBatch fans the files out across an engine worker pool. Files are read
 // lazily inside the workers, so resident memory stays bounded by the
 // in-flight window regardless of how many files are listed, and the merged
 // output — including where a read error surfaces — is byte-identical to
 // the serial order.
-func runBatch(sp *spanner.Spanner, files []string, jobs int, countOnly bool, limit int, r *renderer) (matched bool, err error) {
+func runBatch(sp *spanner.Spanner, files []string, stdin io.Reader, jobs int, countOnly bool, limit int, r *renderer) (matched bool, err error) {
 	if countOnly {
-		return runBatchCount(sp, files, jobs, r)
+		return runBatchCount(sp, files, stdin, jobs, r)
 	}
 	eng := engine.New(sp, engine.Workers(jobs))
 	eng.Process(len(files),
-		func(i engine.DocID) ([]byte, error) { return os.ReadFile(files[i]) },
+		batchLoader(files, stdin),
 		func(i engine.DocID, ev *spanner.Evaluation, e error) bool {
 			if e != nil {
 				err = e
@@ -220,61 +243,43 @@ func runBatch(sp *spanner.Spanner, files []string, jobs int, countOnly bool, lim
 	return matched, err
 }
 
-// runBatchCount runs the per-file counting pass on its own bounded pool:
+// runBatchCount runs the per-file counting pass on an engine.Map pool:
 // each worker reads a file, counts, and drops the document, so memory
 // stays at O(workers) files and the counts print in input order.
-func runBatchCount(sp *spanner.Spanner, files []string, jobs int, r *renderer) (matched bool, err error) {
-	n := len(files)
-	workers := max(1, min(jobs, n))
+func runBatchCount(sp *spanner.Spanner, files []string, stdin io.Reader, jobs int, r *renderer) (matched bool, err error) {
+	load := batchLoader(files, stdin)
 	type result struct {
 		val string
 		pos bool
 		err error
 	}
-	jobsCh := make(chan int, n)
-	for i := 0; i < n; i++ {
-		jobsCh <- i
-	}
-	close(jobsCh)
-	results := make([]chan result, n)
-	for i := range results {
-		results[i] = make(chan result, 1)
-	}
-	var stop atomic.Bool
-	for w := 0; w < workers; w++ {
-		go func() {
-			for i := range jobsCh {
-				if stop.Load() {
-					results[i] <- result{}
-					continue
-				}
-				doc, e := os.ReadFile(files[i])
-				if e != nil {
-					results[i] <- result{err: e}
-					continue
-				}
-				c, exact := sp.Count(doc)
-				val := fmt.Sprintf("%d", c)
-				if !exact {
-					// The uint64 count overflowed; recount with big integers.
-					val = sp.CountBig(doc).String()
-				}
-				results[i] <- result{val: val, pos: c > 0 || !exact}
+	engine.Map(jobs, len(files),
+		func(i int) result {
+			doc, e := load(engine.DocID(i))
+			if e != nil {
+				return result{err: e}
 			}
-		}()
-	}
-	defer stop.Store(true)
-	for i := 0; i < n; i++ {
-		res := <-results[i]
-		if res.err != nil {
-			return matched, res.err
-		}
-		if e := r.count(files[i], res.val); e != nil {
-			return matched, e
-		}
-		matched = matched || res.pos
-	}
-	return matched, nil
+			c, exact := sp.Count(doc)
+			val := fmt.Sprintf("%d", c)
+			if !exact {
+				// The uint64 count overflowed; recount with big integers.
+				val = sp.CountBig(doc).String()
+			}
+			return result{val: val, pos: c > 0 || !exact}
+		},
+		func(i int, res result) bool {
+			if res.err != nil {
+				err = res.err
+				return false
+			}
+			if e := r.count(files[i], res.val); e != nil {
+				err = e
+				return false
+			}
+			matched = matched || res.pos
+			return true
+		})
+	return matched, err
 }
 
 // renderer owns the output formatting shared by the serial and batch

@@ -196,6 +196,34 @@ func TestCLIParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+func TestCLIParallelStdinDash(t *testing.T) {
+	// A "-" FILE argument means stdin in batch mode exactly as in serial
+	// mode: the first "-" consumes the stream, a repeated "-" sees it
+	// drained (an empty document), and the merged output is byte-identical
+	// to the serial order.
+	f1 := writeTemp(t, "a.txt", gen.Figure1Doc())
+	f2 := writeTemp(t, "b.txt", gen.Contacts(10, 7))
+	stdin := string(gen.Figure1Doc())
+	for _, args := range [][]string{
+		{gen.Figure1Pattern(), f1, "-", f2},
+		{gen.Figure1Pattern(), "-", f1, "-"},
+		{"-count", gen.Figure1Pattern(), f1, "-", f2},
+	} {
+		serialOut, _, serialCode := runCLI(t, stdin, args...)
+		parOut, _, parCode := runCLI(t, stdin, append([]string{"-j", "4"}, args...)...)
+		if parCode != serialCode {
+			t.Fatalf("%v: exit %d (parallel) vs %d (serial)", args, parCode, serialCode)
+		}
+		if parOut != serialOut {
+			t.Fatalf("%v: parallel output differs from serial:\n--- parallel ---\n%s--- serial ---\n%s",
+				args, parOut, serialOut)
+		}
+		if !strings.Contains(parOut, "-:") {
+			t.Fatalf("%v: stdin matches missing the \"-\" prefix:\n%s", args, parOut)
+		}
+	}
+}
+
 func TestCLIStdinStreaming(t *testing.T) {
 	// A document much larger than one read chunk must stream through
 	// unharmed, and -count over stdin must agree with enumeration.

@@ -50,11 +50,12 @@ type Engine struct {
 type Option func(*Engine)
 
 // Workers requests a worker-pool size. Values below 1 (and the default)
-// select the hardware parallelism. Because batch evaluation is pure CPU
-// work (the documents are already in memory), the engine never runs more
-// workers than GOMAXPROCS — oversubscription adds scheduling and cache
-// pressure with no parallelism to gain — nor more workers than a batch has
-// documents.
+// select the hardware parallelism, the right size for pure CPU work over
+// in-memory documents. An explicit n is honored as given — above
+// GOMAXPROCS it buys nothing for Run's in-memory batches but is exactly
+// what Process wants when its loader blocks on I/O (files, object
+// stores), where the pool size is the I/O concurrency. The pool is never
+// larger than the batch.
 func Workers(n int) Option { return func(e *Engine) { e.workers = n } }
 
 // Limit caps the number of matches emitted per document (0, the default,
@@ -76,7 +77,7 @@ func New(s *spanner.Spanner, opts ...Option) *Engine {
 // poolSize resolves the effective worker count for a batch of n documents.
 func (e *Engine) poolSize(n int) int {
 	w := e.workers
-	if w < 1 || w > runtime.GOMAXPROCS(0) {
+	if w < 1 {
 		w = runtime.GOMAXPROCS(0)
 	}
 	return min(w, n)
@@ -138,9 +139,17 @@ func (e *Engine) Process(n int, load func(DocID) ([]byte, error), emit func(DocI
 	// draining. A loaded-and-preprocessed document pins its bytes and an
 	// evaluation arena until the consumer drains it, so inflight tickets
 	// bound the resident set; stopCh wakes workers blocked on a ticket
-	// when the consumer quits early. Workers dequeue in index order, so
-	// every ticket holder is ahead of at most 2×workers undrained
-	// documents and the consumer always frees tickets first: no deadlock.
+	// when the consumer quits early.
+	//
+	// Deadlock freedom: a worker acquires its inflight ticket BEFORE
+	// dequeuing an index, so every dequeued index progresses to delivery
+	// without further blocking. jobs is FIFO, hence the lowest undrained
+	// index is always either already deliverable or still in jobs with a
+	// ticket obtainable for it (tickets held by delivered documents are
+	// freed by the in-order consumer as it drains them). Ticketing after
+	// the dequeue would be unsound: a worker could dequeue the lowest
+	// index, stall on a full ticket window while the consumer waits on
+	// that very index, and wedge the batch.
 	type result struct {
 		ev  *spanner.Evaluation
 		err error
@@ -160,14 +169,24 @@ func (e *Engine) Process(n int, load func(DocID) ([]byte, error), emit func(DocI
 
 	for w := 0; w < workers; w++ {
 		go func() {
-			for i := range jobs {
-				if stop.Load() {
-					results[i] <- result{}
-					continue
-				}
+			for {
+				ticket := false
 				select {
 				case inflight <- struct{}{}:
+					ticket = true
 				case <-stopCh:
+				}
+				i, ok := <-jobs
+				if !ok {
+					if ticket {
+						<-inflight
+					}
+					return
+				}
+				if !ticket || stop.Load() {
+					if ticket {
+						<-inflight
+					}
 					results[i] <- result{}
 					continue
 				}
@@ -177,7 +196,17 @@ func (e *Engine) Process(n int, load func(DocID) ([]byte, error), emit func(DocI
 					results[i] <- result{err: err}
 					continue
 				}
-				results[i] <- result{ev: e.s.Preprocess(doc)}
+				ev := e.s.Preprocess(doc)
+				if stop.Load() {
+					// The consumer quit during the preprocessing pass;
+					// nobody will drain this result, so return the pooled
+					// scratch here instead of dropping it to the GC.
+					ev.Release()
+					<-inflight
+					results[i] <- result{}
+					continue
+				}
+				results[i] <- result{ev: ev}
 			}
 		}()
 	}
@@ -188,16 +217,64 @@ func (e *Engine) Process(n int, load func(DocID) ([]byte, error), emit func(DocI
 		}
 	}()
 	for i := 0; i < n; i++ {
+		// Empty results (both fields nil) exist only on the stop path,
+		// which begins in the defer above — after this loop has returned —
+		// so the consumer never observes one.
 		res := <-results[i]
-		if res.ev == nil && res.err == nil {
-			continue // only after an early stop
-		}
 		ok := emit(DocID(i), res.ev, res.err)
 		if res.ev != nil {
 			res.ev.Release()
 			<-inflight
 		}
 		if !ok {
+			return
+		}
+	}
+}
+
+// Map runs fn over the indexes [0, n) on a pool of workers and hands each
+// result to emit strictly in index order on the calling goroutine. fn calls
+// run concurrently and must be safe to do so; errors are folded into T.
+// emit returning false stops the batch: emit is never called again, no
+// goroutines are leaked, and workers skip fn for indexes they dequeue
+// after observing the stop — a best-effort cutoff, so in-flight and
+// just-dequeued fn calls may still run to completion with their results
+// dropped. Values below 1 for workers mean 1.
+//
+// Map is the ordered fan-in primitive for per-index work whose results are
+// small (counts, summaries): every result is buffered until the consumer
+// reaches its index. Engine.Process serves the document-sized case, adding
+// ticketing that bounds the resident payloads to a 2×workers window.
+func Map[T any](workers, n int, fn func(int) T, emit func(int, T) bool) {
+	if n == 0 {
+		return
+	}
+	workers = max(1, min(workers, n))
+	jobs := make(chan int, n)
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	results := make([]chan T, n)
+	for i := range results {
+		results[i] = make(chan T, 1)
+	}
+	var stop atomic.Bool
+	for w := 0; w < workers; w++ {
+		go func() {
+			var zero T
+			for i := range jobs {
+				if stop.Load() {
+					results[i] <- zero
+					continue
+				}
+				results[i] <- fn(i)
+			}
+		}()
+	}
+	defer stop.Store(true)
+	for i := 0; i < n; i++ {
+		if !emit(i, <-results[i]) {
 			return
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"spanners/engine"
 	"spanners/internal/gen"
@@ -254,6 +255,103 @@ func TestEmptyBatchAndDefaults(t *testing.T) {
 		if got := engineTrace(e, batch(5)); len(got) == 0 {
 			t.Fatal("default-worker engine produced no output")
 		}
+	}
+}
+
+func TestProcessBackpressureLiveness(t *testing.T) {
+	forceProcs(t, 8)
+	// Regression guard for a worker-pool deadlock: workers must acquire
+	// their inflight ticket BEFORE dequeuing an index. In the old
+	// ticket-after-dequeue order, a worker preempted between the dequeue
+	// (holding the lowest undrained index) and the ticket select could
+	// watch the rest of the pool ticket the entire 2×workers window with
+	// higher indexes; the in-order consumer then waited on that lowest
+	// index forever and no ticket was ever freed. The schedule is
+	// nondeterministic, so this is a stress test with a liveness timeout:
+	// many small documents cycle tickets fast, and the yielding loader
+	// perturbs worker scheduling.
+	s := spanner.MustCompile(gen.Figure1Pattern())
+	docs := batch(400)
+	e := engine.New(s, engine.Workers(4))
+	done := make(chan struct{})
+	// The goroutine must not touch t after a timeout ends the test, so it
+	// records failures and the main goroutine reports them — only on the
+	// done path, which happens-before the read.
+	var fails []string
+	go func() {
+		defer close(done)
+		for round := 0; round < 8; round++ {
+			n := 0
+			e.Process(len(docs),
+				func(i engine.DocID) ([]byte, error) {
+					runtime.Gosched()
+					return docs[i], nil
+				},
+				func(i engine.DocID, ev *spanner.Evaluation, err error) bool {
+					if err != nil {
+						fails = append(fails, fmt.Sprintf("round %d doc %d: unexpected error %v", round, i, err))
+					}
+					n++
+					return true
+				})
+			if n != len(docs) {
+				fails = append(fails, fmt.Sprintf("round %d: emitted %d documents, want %d", round, n, len(docs)))
+			}
+		}
+	}()
+	select {
+	case <-done:
+		for _, f := range fails {
+			t.Error(f)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("Process deadlocked under loader backpressure")
+	}
+}
+
+func TestMapOrderedAndEarlyStop(t *testing.T) {
+	forceProcs(t, 8)
+	const n = 60
+	fn := func(i int) int {
+		runtime.Gosched()
+		return i * i
+	}
+
+	var got []int
+	engine.Map(8, n, fn, func(i, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != n {
+		t.Fatalf("emitted %d results, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d = %d, want %d (out of order?)", i, v, i*i)
+		}
+	}
+
+	// Early stop: exactly stopAt+1 emits, in order. (fn skipping after the
+	// stop is best-effort, so no call-count bound is asserted.)
+	const stopAt = 5
+	emits := 0
+	engine.Map(2, n, fn, func(i, v int) bool {
+		if i != emits || v != i*i {
+			t.Fatalf("emit (%d, %d), want (%d, %d)", i, v, emits, emits*emits)
+		}
+		emits++
+		return i < stopAt
+	})
+	if emits != stopAt+1 {
+		t.Fatalf("emitted %d results after stop, want %d", emits, stopAt+1)
+	}
+
+	// Degenerate shapes.
+	engine.Map(0, 0, fn, func(int, int) bool { t.Fatal("emit on empty batch"); return false })
+	ran := false
+	engine.Map(-1, 1, func(int) int { ran = true; return 0 }, func(int, int) bool { return true })
+	if !ran {
+		t.Fatal("workers < 1 must still run the batch")
 	}
 }
 

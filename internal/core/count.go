@@ -301,7 +301,12 @@ func (s *CountStream) Close() {
 }
 
 // Count returns |⟦A⟧d| for the document fed so far; exact is false when the
-// count does not fit in uint64 (use CountBig then).
+// count does not fit in uint64 (use CountBig then). This is a stronger
+// exactness guarantee than the one-shot Count's: after migrating to big
+// arithmetic the stream still knows the true total, so it reports exact
+// results on documents whose intermediate per-state counts overflow but
+// whose |⟦A⟧d| fits — where Count can only report exact == false. The two
+// agree whenever Count reports exact == true.
 func (s *CountStream) Count() (count uint64, exact bool) {
 	s.Close()
 	if s.bc != nil {

@@ -131,8 +131,9 @@ func (a *matchAlloc) clone(m *Match) *Match {
 // Collect enumerates doc, appends an independent copy of every match to
 // dst and returns the extended slice. limit > 0 caps the number of
 // collected matches. Unlike Enumerate's scratch buffers, the returned
-// matches are retainable as-is; clone allocations are amortized across the
-// batch, which is what the engine package's workers rely on.
+// matches are retainable as-is, and the clone allocations are amortized
+// across the batch — the convenient form for callers that want an owned
+// result set rather than Enumerate's zero-copy callback discipline.
 func (s *Spanner) Collect(dst []*Match, doc []byte, limit int) []*Match {
 	var a matchAlloc
 	start := len(dst)

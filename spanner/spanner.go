@@ -313,7 +313,9 @@ func (s *Spanner) All(doc []byte) iter.Seq[*Match] {
 }
 
 // Count returns |⟦A⟧doc| in O(|A|·|doc|) without enumerating (Theorem 5.1).
-// exact is false when the count overflowed uint64; use CountBig then.
+// exact is false when any step of the uint64 arithmetic overflowed — the
+// returned count is then unreliable; use CountBig (or the hybrid
+// CountReader, which stays exact through intermediate overflows) instead.
 func (s *Spanner) Count(doc []byte) (count uint64, exact bool) {
 	if s.lazy != nil {
 		s.mu.Lock()
