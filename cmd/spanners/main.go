@@ -6,6 +6,7 @@
 //	spanners -count '.*!ip{\d+\.\d+\.\d+\.\d+}.*' access.log
 //	spanners -j 8 PATTERN *.log
 //	cat doc | spanners -json '!w{\w+}(.|\n)*'
+//	spanners -union '.*!num{\d+}.*' -project num,user PATTERN mail.txt
 //
 // Each output line is one match. In text mode a match renders as
 // tab-separated "var=[start,end) "text"" bindings (byte offsets, half-open);
@@ -16,6 +17,13 @@
 // incrementally (chunk-by-chunk preprocessing), so matching starts the
 // moment the pipe closes, and -count over stdin never materializes the
 // document at all.
+//
+// The spanner algebra composes PATTERN with further patterns before
+// evaluation: each (repeatable) -union PAT adds PAT's matches, each
+// (repeatable) -join PAT natural-joins with PAT's matches — shared
+// variables must bind identical spans; a variable-free PAT acts as a
+// document filter — and -project x,y finally restricts the output to the
+// listed variables. Unions apply first, then joins, then the projection.
 //
 // Exit status follows the grep convention: 0 when at least one input
 // matched, 1 when nothing matched, 2 on any error (bad pattern, unreadable
@@ -51,6 +59,81 @@ Extracts document spans matching a regex formula with captures !var{...}.
 Reads stdin when no files are given. Flags:
 `
 
+// multiFlag collects the values of a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ", ") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+// compose builds the evaluated spanner: the positional pattern, united with
+// each -union pattern, joined with each -join pattern, then projected onto
+// the -project variables (when given).
+//
+// The algebra constructors read only their operands' pre-determinization
+// automata, so operands and intermediate compositions are compiled lazily
+// (O(1) determinization setup); the caller's real options — in particular
+// strict mode's full determinization and dense table — are spent only on
+// the final spanner, the one actually evaluated.
+func compose(pattern string, unions, joins []string, project string, opts []spanner.Option) (*spanner.Spanner, error) {
+	var vars []string
+	if project != "" {
+		for _, v := range strings.Split(project, ",") {
+			if v = strings.TrimSpace(v); v != "" {
+				vars = append(vars, v)
+			}
+		}
+		if len(vars) == 0 {
+			return nil, fmt.Errorf("-project %q names no variables", project)
+		}
+	}
+	steps := len(unions) + len(joins)
+	if len(vars) > 0 {
+		steps++
+	}
+	lazy := []spanner.Option{spanner.WithLazy()}
+	// stepOpts is called once per compile step, in order (base pattern,
+	// unions, joins, projection); the last step gets the real options.
+	stepOpts := func() []spanner.Option {
+		steps--
+		if steps < 0 {
+			return opts
+		}
+		return lazy
+	}
+	sp, err := spanner.Compile(pattern, stepOpts()...)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range unions {
+		other, err := spanner.Compile(p, lazy...)
+		if err != nil {
+			return nil, err
+		}
+		if sp, err = spanner.Union(sp, other, stepOpts()...); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range joins {
+		other, err := spanner.Compile(p, lazy...)
+		if err != nil {
+			return nil, err
+		}
+		if sp, err = spanner.Join(sp, other, stepOpts()...); err != nil {
+			return nil, err
+		}
+	}
+	if len(vars) > 0 {
+		if sp, err = spanner.Project(sp, vars, stepOpts()...); err != nil {
+			return nil, err
+		}
+	}
+	return sp, nil
+}
+
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("spanners", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -58,6 +141,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprint(stderr, usage)
 		fs.PrintDefaults()
 	}
+	var unions, joins multiFlag
 	var (
 		countOnly = fs.Bool("count", false, "print only the number of matches per input")
 		jsonOut   = fs.Bool("json", false, "emit matches as NDJSON objects")
@@ -65,7 +149,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		stats     = fs.Bool("stats", false, "print automaton statistics to stderr")
 		limit     = fs.Int("limit", 0, "stop after this many matches per input (0 = no limit)")
 		jobs      = fs.Int("j", 1, "evaluate FILE arguments concurrently with this many workers")
+		project   = fs.String("project", "", "restrict output to these comma-separated variables (applied last)")
 	)
+	fs.Var(&unions, "union", "also match this pattern (repeatable; spanner union)")
+	fs.Var(&joins, "join", "natural-join with this pattern's matches (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return exitError
 	}
@@ -80,7 +167,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *lazy {
 		opts = []spanner.Option{spanner.WithLazy()}
 	}
-	sp, err := spanner.Compile(pattern, opts...)
+	sp, err := compose(pattern, unions, joins, *project, opts)
 	if err != nil {
 		fmt.Fprintf(stderr, "spanners: %v\n", err)
 		return exitError
@@ -259,13 +346,8 @@ func runBatchCount(sp *spanner.Spanner, files []string, stdin io.Reader, jobs in
 			if e != nil {
 				return result{err: e}
 			}
-			c, exact := sp.Count(doc)
-			val := fmt.Sprintf("%d", c)
-			if !exact {
-				// The uint64 count overflowed; recount with big integers.
-				val = sp.CountBig(doc).String()
-			}
-			return result{val: val, pos: c > 0 || !exact}
+			val, pos := countValue(sp, doc)
+			return result{val: val, pos: pos}
 		},
 		func(i int, res result) bool {
 			if res.err != nil {
@@ -350,15 +432,25 @@ func (r *renderer) count(name, val string) error {
 	return e
 }
 
-// countDoc counts one materialized document, falling back to big-integer
-// arithmetic on overflow.
-func (r *renderer) countDoc(sp *spanner.Spanner, name string, doc []byte) (matched bool, err error) {
+// countValue counts one materialized document, falling back to big-integer
+// arithmetic on overflow so the printed value is always exact; pos reports
+// whether the true count is non-zero. The fallback decides pos too: an
+// inexact uint64 count is the low 64 bits of the true total, so by itself
+// it cannot distinguish "overflowed then every run died" (truly zero) from
+// a huge count.
+func countValue(sp *spanner.Spanner, doc []byte) (val string, pos bool) {
 	n, exact := sp.Count(doc)
-	val := fmt.Sprintf("%d", n)
-	if !exact {
-		val = sp.CountBig(doc).String()
+	if exact {
+		return fmt.Sprintf("%d", n), n > 0
 	}
-	return n > 0 || !exact, r.count(name, val)
+	big := sp.CountBig(doc)
+	return big.String(), big.Sign() > 0
+}
+
+// countDoc renders one document's exact count.
+func (r *renderer) countDoc(sp *spanner.Spanner, name string, doc []byte) (matched bool, err error) {
+	val, pos := countValue(sp, doc)
+	return pos, r.count(name, val)
 }
 
 func printStats(w io.Writer, sp *spanner.Spanner) {
@@ -367,7 +459,10 @@ func printStats(w io.Writer, sp *spanner.Spanner) {
 	fmt.Fprintf(w, "variables:      %s\n", strings.Join(st.Vars, ", "))
 	fmt.Fprintf(w, "mode:           %s\n", st.Mode)
 	fmt.Fprintf(w, "sequentialized: %v\n", st.Sequentialized)
-	fmt.Fprintf(w, "VA:             %d states, %d transitions\n", st.VAStates, st.VATransitions)
+	if st.VAStates > 0 {
+		// Algebra-composed spanners start from eVAs, skipping the VA stage.
+		fmt.Fprintf(w, "VA:             %d states, %d transitions\n", st.VAStates, st.VATransitions)
+	}
 	fmt.Fprintf(w, "eVA:            %d states, %d transitions\n", st.EVAStates, st.EVATransitions)
 	if st.Mode == spanner.ModeStrict {
 		fmt.Fprintf(w, "det eVA:        %d states, dense table %d bytes\n", st.DetStates, st.DenseTableBytes)

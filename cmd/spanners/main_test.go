@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"spanners/internal/gen"
+	"spanners/spanner"
 )
 
 func runCLI(t *testing.T, stdin string, args ...string) (stdout, stderr string, code int) {
@@ -275,5 +276,160 @@ func TestCLIParallelErrorMatchesSerialOrder(t *testing.T) {
 	if serialCode != 2 || parCode != 2 || parOut != serialOut {
 		t.Fatalf("-count error path diverges: exit %d/%d\n--- parallel ---\n%s--- serial ---\n%s",
 			serialCode, parCode, parOut, serialOut)
+	}
+}
+
+func TestCLIAlgebraFlags(t *testing.T) {
+	// Composed evaluation: -union adds a second pattern's matches, -join
+	// filters/combines, -project restricts the output variables. The table
+	// covers each operator alone and the full chain, in both modes.
+	doc := "ab <a@b>, ba <12>"
+	f := writeTemp(t, "doc.txt", []byte(doc))
+	cases := []struct {
+		name string
+		args []string
+		want []string // lines that must appear, in order
+		code int
+	}{
+		{
+			name: "union adds matches",
+			args: []string{"-union", `.*!num{(1|2)+}.*`, `.*!user{(a|b)+}@.*`, f},
+			want: []string{`user=[4,5) "a"`, `num=[14,16) "12"`},
+			code: 0,
+		},
+		{
+			name: "join as document filter keeps matches",
+			args: []string{"-join", `.*@.*`, `.*!user{(a|b)+}@.*`, f},
+			want: []string{`user=[4,5) "a"`},
+			code: 0,
+		},
+		{
+			name: "join filter rejects",
+			args: []string{"-join", `(x)*`, `.*!user{(a|b)+}@.*`, f},
+			want: nil,
+			code: 1,
+		},
+		{
+			name: "project narrows variables",
+			args: []string{"-project", "host", `.*!user{(a|b)+}@!host{(a|b)+}.*`, f},
+			want: []string{`host=[6,7) "b"`},
+			code: 0,
+		},
+		{
+			name: "union join project chain",
+			args: []string{
+				"-union", `.*!num{(1|2)+}.*`,
+				"-join", `.*@.*`,
+				"-project", "num",
+				`.*!user{(a|b)+}@.*`, f,
+			},
+			// The user matches survive the join (doc contains @) and project
+			// to the empty mapping; the num matches keep their spans.
+			want: []string{"{}", `num=[14,16) "12"`},
+			code: 0,
+		},
+		{
+			name: "lazy mode composes identically",
+			args: []string{"-lazy", "-union", `.*!num{(1|2)+}.*`, `.*!user{(a|b)+}@.*`, f},
+			want: []string{`user=[4,5) "a"`, `num=[14,16) "12"`},
+			code: 0,
+		},
+		{
+			name: "bad union pattern",
+			args: []string{"-union", "(", "a", f},
+			code: 2,
+		},
+		{
+			name: "unknown projection variable",
+			args: []string{"-project", "nope", `.*!user{(a|b)+}@.*`, f},
+			code: 2,
+		},
+		{
+			name: "projection naming no variables",
+			args: []string{"-project", ",", `.*!user{(a|b)+}@.*`, f},
+			code: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, stderr, code := runCLI(t, "", tc.args...)
+			if code != tc.code {
+				t.Fatalf("exit = %d, want %d (stderr: %s)", code, tc.code, stderr)
+			}
+			pos := 0
+			for _, want := range tc.want {
+				idx := strings.Index(out[pos:], want)
+				if idx < 0 {
+					t.Fatalf("output missing %q (in order):\n%s", want, out)
+				}
+				pos += idx + len(want)
+			}
+		})
+	}
+}
+
+func TestCLICountOverflowPrintsExactValue(t *testing.T) {
+	// 12 nested variables over 60 bytes push the count far past uint64:
+	// Count reports exact == false and the CLI must print the exact
+	// big-integer value — identically on the serial file path, the -j batch
+	// path, and the streaming stdin path.
+	pattern := gen.NestedPattern(12)
+	doc := strings.Repeat("a", 60)
+
+	sp, err := spanner.Compile(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, exact := sp.Count([]byte(doc)); exact {
+		t.Fatal("count no longer overflows uint64; the test is vacuous")
+	}
+	want := sp.CountBig([]byte(doc)).String()
+	if len(want) <= 20 { // 2^64 has 20 digits
+		t.Fatalf("expected a >64-bit count, got %s", want)
+	}
+
+	f1 := writeTemp(t, "a.txt", []byte(doc))
+	f2 := writeTemp(t, "b.txt", []byte(doc))
+
+	out, _, code := runCLI(t, "", "-count", pattern, f1)
+	if code != 0 || strings.TrimSpace(out) != want {
+		t.Fatalf("serial -count = %q (exit %d), want %s", out, code, want)
+	}
+
+	out, _, code = runCLI(t, "", "-j", "2", "-count", pattern, f1, f2)
+	if code != 0 {
+		t.Fatalf("batch -count exit = %d", code)
+	}
+	for _, f := range []string{f1, f2} {
+		if !strings.Contains(out, f+":"+want) {
+			t.Fatalf("batch -count output missing %s:%s\n%s", f, want, out)
+		}
+	}
+
+	out, _, code = runCLI(t, doc, "-count", pattern)
+	if code != 0 || strings.TrimSpace(out) != want {
+		t.Fatalf("stdin -count = %q (exit %d), want %s", out, code, want)
+	}
+
+	// Overflow followed by total run death: an a-only nested pattern on a
+	// document ending in 'b' has exactly zero matches while the uint64 pass
+	// reports (0, exact == false). The CLI must print 0 AND exit 1 — the
+	// inexact flag alone no longer implies a match.
+	var nested strings.Builder
+	for i := 1; i <= 12; i++ {
+		fmt.Fprintf(&nested, "a*!x%d{", i)
+	}
+	nested.WriteString("a*")
+	for i := 1; i <= 12; i++ {
+		nested.WriteString("}a*")
+	}
+	dead := writeTemp(t, "dead.txt", []byte(doc+"b"))
+	out, _, code = runCLI(t, "", "-count", nested.String(), dead)
+	if strings.TrimSpace(out) != "0" || code != 1 {
+		t.Fatalf("overflow-then-death -count = %q (exit %d), want 0 with exit 1", out, code)
+	}
+	out, _, code = runCLI(t, "", "-j", "2", "-count", nested.String(), dead, dead)
+	if code != 1 || strings.Contains(out, ":"+want) {
+		t.Fatalf("batch overflow-then-death exit = %d (out %q), want 1", code, out)
 	}
 }

@@ -390,3 +390,39 @@ func TestProcessLoaderErrorsInOrder(t *testing.T) {
 		t.Fatalf("trace diverges from serial-with-error:\ngot  %v\nwant %v", trace, want)
 	}
 }
+
+// TestComposedSpannerThroughEngine checks that an algebra-composed spanner
+// is an ordinary citizen of the batch pool: a union-of-joins spanner run
+// through Engine.Run produces exactly the serial trace, at every worker
+// count and in both determinization modes.
+func TestComposedSpannerThroughEngine(t *testing.T) {
+	forceProcs(t, 8)
+	docs := batch(60)
+	emails := gen.Figure1Pattern()
+	numbers := `.*!num{(0|1|2|3|4|5|6|7|8|9)+}.*`
+	for _, mode := range []spanner.Option{spanner.WithStrict(), spanner.WithLazy()} {
+		s1 := spanner.MustCompile(emails, mode)
+		s2 := spanner.MustCompile(numbers, mode)
+		u, err := spanner.Union(s1, s2, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		filter := spanner.MustCompile(`.*@.*`, mode)
+		j, err := spanner.Join(u, filter, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []*spanner.Spanner{u, j} {
+			want := serialTrace(s, docs)
+			if len(want) == 0 {
+				t.Fatalf("%s: batch produced no matches; the test would be vacuous", s.Pattern())
+			}
+			for _, workers := range []int{1, 4, 8} {
+				e := engine.New(s, engine.Workers(workers))
+				if got := engineTrace(e, docs); fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("%s workers %d: engine trace diverges from serial", s.Pattern(), workers)
+				}
+			}
+		}
+	}
+}

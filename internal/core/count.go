@@ -14,16 +14,25 @@ import (
 //
 // Counts use uint64 arithmetic — the uniform-cost RAM model the paper
 // assumes; exact reports whether the result is free of overflow (counts
-// grow like n^2ℓ, so overflow is reachable on purpose-built inputs). Use
-// CountBig for arbitrary precision.
+// grow like n^2ℓ, so overflow is reachable on purpose-built inputs). When
+// exact is false, count is still well-defined: every addition wraps modulo
+// 2^64, so the returned value is the low 64 bits of the true |⟦A⟧d| — the
+// same contract CountStream.Count keeps after big-integer migration. Use
+// CountBig for the full value.
+//
+// The pass stops as soon as the live state set drains: once no partial run
+// survives, no later byte can revive one, so a document whose prefix kills
+// the automaton costs only the prefix (the property Spanner.IsEmpty relies
+// on for cheap rejection).
 func Count(a Automaton, doc []byte) (count uint64, exact bool) {
 	c := &counter{a: a}
 	q0 := a.Initial()
 	c.ensure(q0)
 	c.counts[q0] = 1
+	c.inLive[q0] = true
 	c.live = append(c.live, q0)
 
-	for i := 1; i <= len(doc); i++ {
+	for i := 1; i <= len(doc) && len(c.live) > 0; i++ {
 		c.capturing()
 		c.reading(doc[i-1])
 	}
@@ -32,7 +41,8 @@ func Count(a Automaton, doc []byte) (count uint64, exact bool) {
 }
 
 // total sums the counts of the accepting live states; exact is false when
-// any step of the computation overflowed uint64.
+// any step of the computation overflowed uint64 (the sum is then the low
+// 64 bits of the true total).
 func (c *counter) total() (count uint64, exact bool) {
 	var total uint64
 	for _, q := range c.live {
@@ -45,10 +55,18 @@ func (c *counter) total() (count uint64, exact bool) {
 	return total, !c.overflow
 }
 
+// counter is the uint64 Algorithm 3 state. live holds each live state —
+// one reached by some partial run — exactly once; inLive is the matching
+// membership bitmap. Membership must be tracked explicitly rather than as
+// counts[q] != 0: once arithmetic has wrapped, a live state can carry a
+// count of exactly zero, and using the count as the sentinel would append
+// it to live twice, double-counting it in total() and breaking the
+// low-64-bits contract.
 type counter struct {
 	a        Automaton
 	counts   []uint64
 	live     []int
+	inLive   []bool
 	olds     []uint64
 	nextLive []int
 	overflow bool
@@ -57,6 +75,7 @@ type counter struct {
 func (c *counter) ensure(q int) {
 	for len(c.counts) <= q {
 		c.counts = append(c.counts, 0)
+		c.inLive = append(c.inLive, false)
 	}
 }
 
@@ -83,7 +102,8 @@ func (c *counter) capturing() {
 		q := c.live[k]
 		for _, t := range c.a.Captures(q) {
 			c.ensure(t.To)
-			if c.counts[t.To] == 0 {
+			if !c.inLive[t.To] {
+				c.inLive[t.To] = true
 				c.live = append(c.live, t.To)
 			}
 			c.add(t.To, c.olds[k])
@@ -97,6 +117,7 @@ func (c *counter) reading(ch byte) {
 	for _, q := range c.live {
 		c.olds = append(c.olds, c.counts[q])
 		c.counts[q] = 0
+		c.inLive[q] = false
 	}
 	c.nextLive = c.nextLive[:0]
 	for k, q := range c.live {
@@ -105,7 +126,8 @@ func (c *counter) reading(ch byte) {
 			continue
 		}
 		c.ensure(t)
-		if c.counts[t] == 0 {
+		if !c.inLive[t] {
+			c.inLive[t] = true
 			c.nextLive = append(c.nextLive, t)
 		}
 		c.add(t, c.olds[k])
@@ -123,7 +145,7 @@ func CountBig(a Automaton, doc []byte) *big.Int {
 	c.counts[q0] = big.NewInt(1)
 	c.live = append(c.live, q0)
 
-	for i := 1; i <= len(doc); i++ {
+	for i := 1; i <= len(doc) && len(c.live) > 0; i++ {
 		c.capturing()
 		c.reading(doc[i-1])
 	}
@@ -142,9 +164,14 @@ func (c *bigCounter) total() *big.Int {
 	return total
 }
 
+// bigCounter is the arbitrary-precision Algorithm 3 state. A nil count is
+// the liveness sentinel: counts[q] is non-nil exactly when q ∈ live (a
+// materialized zero still means live — runs whose wrapped uint64 count was
+// zero at migration). Keying liveness on nil rather than on a zero value
+// keeps each state in live exactly once, so total() never double-counts.
 type bigCounter struct {
 	a        Automaton
-	counts   []*big.Int // nil means zero
+	counts   []*big.Int
 	live     []int
 	olds     []*big.Int
 	nextLive []int
@@ -154,10 +181,6 @@ func (c *bigCounter) ensure(q int) {
 	for len(c.counts) <= q {
 		c.counts = append(c.counts, nil)
 	}
-}
-
-func (c *bigCounter) isZero(q int) bool {
-	return c.counts[q] == nil || c.counts[q].Sign() == 0
 }
 
 func (c *bigCounter) add(q int, n *big.Int) {
@@ -170,14 +193,22 @@ func (c *bigCounter) add(q int, n *big.Int) {
 func (c *bigCounter) capturing() {
 	c.olds = c.olds[:0]
 	for _, q := range c.live {
-		c.olds = append(c.olds, new(big.Int).Set(c.counts[q]))
+		// A live state normally carries a materialized count, but the
+		// invariant is load-bearing across CountStream.migrate, which
+		// rebuilds the live set from a snapshot: tolerate a nil (zero)
+		// count rather than panic on it.
+		old := new(big.Int)
+		if c.counts[q] != nil {
+			old.Set(c.counts[q])
+		}
+		c.olds = append(c.olds, old)
 	}
 	n := len(c.live)
 	for k := 0; k < n; k++ {
 		q := c.live[k]
 		for _, t := range c.a.Captures(q) {
 			c.ensure(t.To)
-			if c.isZero(t.To) {
+			if c.counts[t.To] == nil {
 				c.live = append(c.live, t.To)
 			}
 			c.add(t.To, c.olds[k])
@@ -188,7 +219,11 @@ func (c *bigCounter) capturing() {
 func (c *bigCounter) reading(ch byte) {
 	c.olds = c.olds[:0]
 	for _, q := range c.live {
-		c.olds = append(c.olds, c.counts[q])
+		old := c.counts[q]
+		if old == nil {
+			old = new(big.Int)
+		}
+		c.olds = append(c.olds, old)
 		c.counts[q] = nil
 	}
 	c.nextLive = c.nextLive[:0]
@@ -198,7 +233,7 @@ func (c *bigCounter) reading(ch byte) {
 			continue
 		}
 		c.ensure(t)
-		if c.isZero(t) {
+		if c.counts[t] == nil {
 			c.nextLive = append(c.nextLive, t)
 		}
 		c.add(t, c.olds[k])
@@ -234,30 +269,38 @@ func NewCountStream(a Automaton) *CountStream {
 	q0 := a.Initial()
 	s.c.ensure(q0)
 	s.c.counts[q0] = 1
+	s.c.inLive[q0] = true
 	s.c.live = append(s.c.live, q0)
 	return s
 }
 
 // Feed advances the counting pass over the next chunk of the document. The
 // chunk is not retained. Feed panics if the stream is already closed.
+//
+// Once the live state set drains — no partial run survives — no later byte
+// can revive one, so Feed returns immediately and the remaining input costs
+// nothing beyond delivery.
 func (s *CountStream) Feed(chunk []byte) {
 	if s.closed {
 		panic("core: CountStream.Feed after Close")
 	}
 	if s.bc == nil {
+		if len(s.c.live) == 0 {
+			return
+		}
 		s.snapshot()
-		for _, c := range chunk {
+		for i := 0; i < len(chunk) && len(s.c.live) > 0; i++ {
 			s.c.capturing()
-			s.c.reading(c)
+			s.c.reading(chunk[i])
 		}
 		if !s.c.overflow {
 			return
 		}
 		s.migrate()
 	}
-	for _, c := range chunk {
+	for i := 0; i < len(chunk) && len(s.bc.live) > 0; i++ {
 		s.bc.capturing()
-		s.bc.reading(c)
+		s.bc.reading(chunk[i])
 	}
 }
 
@@ -270,14 +313,19 @@ func (s *CountStream) snapshot() {
 
 // migrate rebuilds the counter state of the last chunk boundary with
 // arbitrary-precision counts; the caller replays the chunk that overflowed.
+// Every live state gets a materialized count — including zero-valued ones —
+// establishing the bigCounter invariant "live ⟺ non-nil count" even if the
+// snapshot ever carries a live state whose uint64 count is zero, and
+// dropping any duplicate the snapshot might hold (total() sums per live
+// entry, so a duplicate would double-count).
 func (s *CountStream) migrate() {
 	bc := &bigCounter{a: s.a, counts: make([]*big.Int, len(s.snapC))}
-	for q, n := range s.snapC {
-		if n != 0 {
-			bc.counts[q] = new(big.Int).SetUint64(n)
+	for _, q := range s.snapL {
+		if bc.counts[q] == nil {
+			bc.counts[q] = new(big.Int).SetUint64(s.snapC[q])
+			bc.live = append(bc.live, q)
 		}
 	}
-	bc.live = append(bc.live, s.snapL...)
 	s.bc = bc
 }
 
@@ -307,6 +355,10 @@ func (s *CountStream) Close() {
 // results on documents whose intermediate per-state counts overflow but
 // whose |⟦A⟧d| fits — where Count can only report exact == false. The two
 // agree whenever Count reports exact == true.
+//
+// When exact is false, count is the low 64 bits of the true total — the
+// same value on both internal paths: uint64 arithmetic wraps modulo 2^64
+// throughout, and the migrated big-integer total is truncated the same way.
 func (s *CountStream) Count() (count uint64, exact bool) {
 	s.Close()
 	if s.bc != nil {
@@ -314,9 +366,15 @@ func (s *CountStream) Count() (count uint64, exact bool) {
 		if t.IsUint64() {
 			return t.Uint64(), true
 		}
-		return 0, false
+		return low64(t), false
 	}
 	return s.c.total()
+}
+
+// low64 returns the low 64 bits of a non-negative big integer.
+func low64(t *big.Int) uint64 {
+	mask := new(big.Int).SetUint64(^uint64(0))
+	return new(big.Int).And(t, mask).Uint64()
 }
 
 // CountBig returns the exact |⟦A⟧d| with arbitrary-precision arithmetic.

@@ -1,0 +1,324 @@
+package core
+
+// White-box regression tests for the counting layer: the inexact-count
+// contract (both CountStream paths return the low 64 bits of the true
+// total), the migrate → capturing nil-count invariant, and the early exit
+// once the live state set drains. They drive the counters through a small
+// hand-built Automaton so the scenarios — counts that wrap exactly to
+// zero, totals that overflow only in the final summation — are reachable
+// deterministically.
+
+import (
+	"math/big"
+	"testing"
+
+	"spanners/internal/model"
+)
+
+// fakeAutomaton is a minimal deterministic Automaton for counter tests:
+// per-state capture edges, per-state single-byte letter edges, and a Step
+// call counter for the early-exit assertions.
+type fakeAutomaton struct {
+	reg      *model.Registry
+	initial  int
+	final    []bool
+	captures [][]model.Capture
+	letters  []map[byte]int
+	steps    int
+}
+
+func (f *fakeAutomaton) Initial() int                   { return f.initial }
+func (f *fakeAutomaton) Accepting(q int) bool           { return f.final[q] }
+func (f *fakeAutomaton) Captures(q int) []model.Capture { return f.captures[q] }
+func (f *fakeAutomaton) Registry() *model.Registry      { return f.reg }
+func (f *fakeAutomaton) Step(q int, c byte) (int, bool) {
+	f.steps++
+	to, ok := f.letters[q][c]
+	return to, ok
+}
+
+// doublerAutomaton counts 2^n runs after n a's: state 0 fans out through
+// two capture edges to states 1 and 2, which both step back to 0, so the
+// run count at 0 doubles per byte. A third capture edge accumulates into
+// the self-looping state 3. All four states are final, which makes the
+// final total 5·2^n − 1: with n = 63 the per-state counts all fit uint64
+// but the final summation wraps, and with larger n the per-state counts
+// themselves overflow mid-document.
+func doublerAutomaton() *fakeAutomaton {
+	reg := model.NewRegistryOf("x", "y")
+	x, _ := reg.Lookup("x")
+	y, _ := reg.Lookup("y")
+	return &fakeAutomaton{
+		reg:   reg,
+		final: []bool{true, true, true, true},
+		captures: [][]model.Capture{
+			{
+				{S: model.SetOf(model.Open(x)), To: 1},
+				{S: model.SetOf(model.Open(x), model.CloseOf(x)), To: 2},
+				{S: model.SetOf(model.Open(y)), To: 3},
+			},
+			nil, nil, nil,
+		},
+		letters: []map[byte]int{
+			nil,
+			{'a': 0},
+			{'a': 0},
+			{'a': 3},
+		},
+	}
+}
+
+func repeatA(n int) []byte {
+	doc := make([]byte, n)
+	for i := range doc {
+		doc[i] = 'a'
+	}
+	return doc
+}
+
+// TestInexactCountIsLow64Bits pins the unified contract: whenever exact is
+// false, the returned count is the true total reduced modulo 2^64 — on the
+// never-migrated uint64 path (per-state counts fit, only the final
+// summation wraps) and on the big-integer path after migration alike, and
+// identically for the one-shot Count.
+func TestInexactCountIsLow64Bits(t *testing.T) {
+	mask := new(big.Int).SetUint64(^uint64(0))
+	wantLow := func(a Automaton, doc []byte) uint64 {
+		return new(big.Int).And(CountBig(a, doc), mask).Uint64()
+	}
+
+	t.Run("uint64 path", func(t *testing.T) {
+		a := doublerAutomaton()
+		doc := repeatA(63) // total 5·2^63−1 > 2^64, every per-state count fits
+		want := wantLow(a, doc)
+		if got, exact := Count(a, doc); exact || got != want {
+			t.Fatalf("Count = (%d, %v), want (%d, false)", got, exact, want)
+		}
+		s := NewCountStream(a)
+		s.Feed(doc)
+		if s.bc != nil {
+			t.Fatal("stream migrated: per-state counts were meant to fit uint64")
+		}
+		if got, exact := s.Count(); exact || got != want {
+			t.Fatalf("CountStream.Count = (%d, %v), want (%d, false)", got, exact, want)
+		}
+		if got := s.CountBig(); new(big.Int).And(got, mask).Uint64() != want || got.BitLen() <= 64 {
+			t.Fatalf("CountBig = %v: inconsistent with the wrapped count %d", got, want)
+		}
+	})
+
+	t.Run("migrated path", func(t *testing.T) {
+		a := doublerAutomaton()
+		doc := repeatA(70) // per-state counts wrap mid-document
+		want := wantLow(a, doc)
+		s := NewCountStream(a)
+		s.Feed(doc[:40])
+		s.Feed(doc[40:])
+		if s.bc == nil {
+			t.Fatal("stream did not migrate: the construction no longer overflows")
+		}
+		got, exact := s.Count()
+		if exact || got != want {
+			t.Fatalf("CountStream.Count = (%d, %v), want (%d, false)", got, exact, want)
+		}
+		if want == 0 {
+			t.Fatal("low 64 bits are zero: the case cannot distinguish the old (0, false) contract")
+		}
+		// The one-shot Count wraps to the same value.
+		if oneshot, exact := Count(a, doc); exact || oneshot != want {
+			t.Fatalf("Count = (%d, %v), want (%d, false)", oneshot, exact, want)
+		}
+	})
+}
+
+// TestMigrateMaterializesZeroLiveCounts is the migrate → capturing
+// regression: a snapshot can in principle carry a live state whose uint64
+// count is zero (a sum that wrapped to exactly 2^64). migrate must not
+// leave such a state with a nil big count — bigCounter.capturing snapshots
+// every live state's count and used to panic on nil.
+func TestMigrateMaterializesZeroLiveCounts(t *testing.T) {
+	a := doublerAutomaton()
+	s := NewCountStream(a)
+	// Install a hostile snapshot directly: state 0 live with a wrapped-to-
+	// zero count, state 3 live with a real count.
+	s.snapC = []uint64{0, 0, 0, 7}
+	s.snapL = []int{0, 3}
+	s.migrate()
+	for _, q := range s.bc.live {
+		if s.bc.counts[q] == nil {
+			t.Fatalf("migrate left live state %d with a nil count", q)
+		}
+	}
+	s.bc.capturing() // panicked before the hardening
+	s.bc.reading('a')
+	if got := s.bc.total(); !got.IsUint64() {
+		t.Fatalf("total = %v, want a small exact value", got)
+	}
+}
+
+// TestNoDuplicateLiveOnZeroCounts pins liveness bookkeeping against
+// wrapped-to-zero counts: a capture into a state that is already live with
+// a (materialized) zero count must not append it to the live list a second
+// time — a duplicate would make reading() panic on a nil olds entry in big
+// mode and make total() double-count in both modes.
+func TestNoDuplicateLiveOnZeroCounts(t *testing.T) {
+	a := doublerAutomaton()
+
+	t.Run("big", func(t *testing.T) {
+		s := NewCountStream(a)
+		// Hostile snapshot: state 1 live with a wrapped-to-zero count and a
+		// duplicate entry; state 0 live with a real count, whose capture
+		// edges target 1 again during capturing.
+		s.snapC = []uint64{3, 0, 0, 0}
+		s.snapL = []int{0, 1, 1}
+		s.migrate()
+		if len(s.bc.live) != 2 {
+			t.Fatalf("migrate kept %d live entries, want 2 (deduplicated)", len(s.bc.live))
+		}
+		s.bc.capturing() // capture 0→1 must not re-append the live state 1
+		assertNoDuplicates(t, s.bc.live)
+		// All four (final) states carry 3 runs; a duplicate would sum 15.
+		if got := s.bc.total(); !got.IsUint64() || got.Uint64() != 12 {
+			t.Fatalf("total after capturing = %v, want 12 (duplicates double-count)", got)
+		}
+		s.bc.reading('a') // panicked on the duplicate's nil olds entry
+		// 6 runs step to state 0 (via 1 and 2), 3 stay on the 3→3 loop.
+		if got := s.bc.total(); !got.IsUint64() || got.Uint64() != 9 {
+			t.Fatalf("total after reading = %v, want 9", got)
+		}
+	})
+
+	t.Run("uint64", func(t *testing.T) {
+		c := &counter{a: a}
+		c.ensure(3)
+		c.counts[0] = 3
+		c.live = append(c.live, 0, 1)
+		c.inLive[0], c.inLive[1] = true, true // state 1 live, count wrapped to 0
+		c.capturing()
+		assertNoDuplicates(t, c.live)
+		if got, exact := c.total(); !exact || got != 12 {
+			t.Fatalf("total after capturing = (%d, %v), want (12, true)", got, exact)
+		}
+		c.reading('a')
+		if got, exact := c.total(); !exact || got != 9 {
+			t.Fatalf("total after reading = (%d, %v), want (9, true)", got, exact)
+		}
+	})
+}
+
+// TestInitialStateCaptureSelfLoop pins the live-set seeding: the initial
+// state must be marked in the inLive bitmap, or a capture edge looping
+// back into it re-appends it during the very first capturing() and
+// total() counts it twice.
+func TestInitialStateCaptureSelfLoop(t *testing.T) {
+	reg := model.NewRegistryOf("x")
+	x, _ := reg.Lookup("x")
+	a := &fakeAutomaton{
+		reg:   reg,
+		final: []bool{true},
+		captures: [][]model.Capture{
+			{{S: model.SetOf(model.Open(x), model.CloseOf(x)), To: 0}},
+		},
+		letters: []map[byte]int{nil},
+	}
+	// On the empty document: the empty mapping plus x = [1,1⟩ — exactly 2.
+	if got, exact := Count(a, nil); !exact || got != 2 {
+		t.Fatalf("Count = (%d, %v), want (2, true)", got, exact)
+	}
+	s := NewCountStream(a)
+	if got, exact := s.Count(); !exact || got != 2 {
+		t.Fatalf("CountStream.Count = (%d, %v), want (2, true)", got, exact)
+	}
+	if got := CountBig(a, nil); !got.IsUint64() || got.Uint64() != 2 {
+		t.Fatalf("CountBig = %v, want 2", got)
+	}
+}
+
+func assertNoDuplicates(t *testing.T, live []int) {
+	t.Helper()
+	seen := make(map[int]bool)
+	for _, q := range live {
+		if seen[q] {
+			t.Fatalf("state %d appears twice in the live list %v", q, live)
+		}
+		seen[q] = true
+	}
+}
+
+// TestBigCapturingToleratesNilCount hardens the consumer side of the same
+// invariant: even if a live state reaches capturing with a nil count, it is
+// treated as zero instead of panicking.
+func TestBigCapturingToleratesNilCount(t *testing.T) {
+	a := doublerAutomaton()
+	bc := &bigCounter{a: a, counts: []*big.Int{nil, nil, nil, nil}, live: []int{0}}
+	bc.capturing() // must treat the nil count as zero, not panic
+	if got := bc.total(); got.Sign() != 0 {
+		t.Fatalf("total = %v, want 0 (nil counts are zero)", got)
+	}
+}
+
+// deadEndAutomaton accepts a* and dies on the first non-a byte.
+func deadEndAutomaton() *fakeAutomaton {
+	return &fakeAutomaton{
+		reg:      model.NewRegistry(),
+		final:    []bool{true},
+		captures: [][]model.Capture{nil},
+		letters:  []map[byte]int{{'a': 0}},
+	}
+}
+
+// TestCountEarlyExitOnDeadPrefix checks that all counting passes stop
+// doing per-byte work once the live set drains: the number of Step calls
+// must be proportional to where the automaton dies, not to |doc|.
+func TestCountEarlyExitOnDeadPrefix(t *testing.T) {
+	doc := append(repeatA(10), make([]byte, 100000)...) // dies at byte 11
+	const maxSteps = 20                                 // 11 live bytes, one state each
+
+	a := deadEndAutomaton()
+	if n, exact := Count(a, doc); !exact || n != 0 {
+		t.Fatalf("Count = (%d, %v), want (0, true)", n, exact)
+	}
+	if a.steps > maxSteps {
+		t.Fatalf("Count made %d Step calls on a document dead after byte 11", a.steps)
+	}
+
+	a = deadEndAutomaton()
+	if n := CountBig(a, doc); n.Sign() != 0 {
+		t.Fatalf("CountBig = %v, want 0", n)
+	}
+	if a.steps > maxSteps {
+		t.Fatalf("CountBig made %d Step calls on a document dead after byte 11", a.steps)
+	}
+
+	a = deadEndAutomaton()
+	s := NewCountStream(a)
+	for i := 0; i < len(doc); i += 1000 {
+		end := i + 1000
+		if end > len(doc) {
+			end = len(doc)
+		}
+		s.Feed(doc[i:end])
+	}
+	if n, exact := s.Count(); !exact || n != 0 {
+		t.Fatalf("CountStream.Count = (%d, %v), want (0, true)", n, exact)
+	}
+	if a.steps > maxSteps {
+		t.Fatalf("CountStream made %d Step calls on a document dead after byte 11", a.steps)
+	}
+
+	// The migrated counter early-exits too: force-migrate a live stream,
+	// then feed a killing byte followed by dead input.
+	a = deadEndAutomaton()
+	s = NewCountStream(a)
+	s.Feed(repeatA(3))
+	s.snapshot()
+	s.migrate()
+	a.steps = 0
+	s.Feed(append([]byte{'b'}, repeatA(50000)...))
+	if a.steps > maxSteps {
+		t.Fatalf("migrated CountStream made %d Step calls after death", a.steps)
+	}
+	if n, exact := s.Count(); !exact || n != 0 {
+		t.Fatalf("dead migrated stream Count = (%d, %v), want (0, true)", n, exact)
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"testing"
 
 	"spanners/internal/core"
+	"spanners/internal/eva"
 	"spanners/internal/gen"
+	"spanners/internal/rgx"
 )
 
 // maxStepGap enumerates up to maxOutputs of res and returns the largest
@@ -79,5 +81,59 @@ func TestConstantDelayAcrossWorkloads(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestConstantDelayJoinedSpanner extends the structural regression to the
+// algebra: a joined spanner goes through the same preprocessing and
+// enumeration machinery, so its per-output delay must also be O(ℓ) in the
+// combined variable count and flat across document sizes.
+func TestConstantDelayJoinedSpanner(t *testing.T) {
+	seq := func(pattern string) *eva.EVA {
+		v, err := rgx.Compile(rgx.MustParse(pattern))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := v.ToExtended().Trim()
+		if !e.IsSequential() {
+			e = e.Sequentialize().Trim()
+		}
+		return e
+	}
+	j, err := eva.Join(seq(`(a|b)*!x{a+}(a|b)*`), seq(`(a|b)*!y{b+}(a|b)*`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.IsSequential() {
+		j = j.Sequentialize().Trim()
+	}
+	d := j.Determinize()
+
+	vars := d.Registry().Len()
+	budget := uint64(8 * (2*vars + 2))
+	const maxOutputs = 4000
+	// The product automaton needs one extra warm-up size: its per-output
+	// marker sets combine both operands, so the steady-state maximum gap is
+	// first sampled reliably around n = 64; non-growth is enforced from the
+	// fourth size on, the absolute O(ℓ) budget at every size.
+	var prevMax uint64
+	for i, n := range []int{16, 32, 64, 128, 256} {
+		doc := gen.RandomDoc(n, "ab", 11)
+		res := core.Evaluate(d, doc)
+		maxGap, outputs := maxStepGap(res, maxOutputs)
+		if outputs == 0 {
+			t.Fatalf("n=%d: no outputs; workload is vacuous", n)
+		}
+		if maxGap > budget {
+			t.Fatalf("n=%d: max delay gap %d exceeds the O(ℓ) budget %d (ℓ=%d)",
+				n, maxGap, budget, vars)
+		}
+		if i >= 3 && maxGap > prevMax {
+			t.Fatalf("n=%d: max delay gap %d grew beyond %d — delay is not constant in the document",
+				n, maxGap, prevMax)
+		}
+		if maxGap > prevMax {
+			prevMax = maxGap
+		}
 	}
 }

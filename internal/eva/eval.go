@@ -34,8 +34,8 @@ func (a *EVA) CountAcceptingRuns(d []byte) int {
 		return 0
 	}
 	e := &evaluator{a: a, d: d, out: model.NewMappingSet(),
-		starts: make([]int, a.reg.Len()),
-		spans:  make([]model.Span, a.reg.Len()),
+		starts:   make([]int, a.reg.Len()),
+		spans:    make([]model.Span, a.reg.Len()),
 		counting: true,
 	}
 	e.capturePhase(a.initial, 1)

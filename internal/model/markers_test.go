@@ -135,7 +135,7 @@ func TestRegistry(t *testing.T) {
 func TestRegistryLimit(t *testing.T) {
 	r := NewRegistry()
 	for i := 0; i < MaxVars; i++ {
-		r.MustAdd(string(rune('A' + i%26)) + string(rune('a'+i/26)))
+		r.MustAdd(string(rune('A'+i%26)) + string(rune('a'+i/26)))
 	}
 	if _, err := r.Add("overflow"); err == nil {
 		t.Fatal("expected error past MaxVars")

@@ -1,0 +1,72 @@
+// Spanner algebra: union, projection and natural join as facade-level
+// constructors. Real extraction workloads compose spanners — regular
+// spanners are closed under all three operations (Fagin et al.;
+// Peterfreund et al., "Complexity Bounds for Relational Algebra over
+// Document Spanners") — and composing at the automaton level, before
+// determinization, keeps every composed spanner on the same constant-delay
+// enumeration path as a directly compiled one: the result of each
+// constructor is an ordinary *Spanner supporting Enumerate, the Reader
+// entry points, counting, and the engine batch pool.
+package spanner
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"spanners/internal/eva"
+)
+
+// Union returns a spanner denoting ⟦s1⟧d ∪ ⟦s2⟧d over the union of the two
+// variable sets. A match contributed by one operand leaves the other
+// operand's private variables unassigned, following the partial-mapping
+// semantics of the paper. The operands are not retained; opts selects the
+// determinization mode of the result (strict by default, regardless of the
+// operands' modes).
+//
+// The result's Pattern() is the descriptive form "union(p1, p2)", which is
+// not re-parseable by Compile.
+func Union(s1, s2 *Spanner, opts ...Option) (*Spanner, error) {
+	start := time.Now()
+	e, err := eva.Union(s1.seq, s2.seq)
+	if err != nil {
+		return nil, err
+	}
+	return compileEVA(fmt.Sprintf("union(%s, %s)", s1.pattern, s2.pattern), e, start, opts)
+}
+
+// Project returns a spanner denoting π_vars(⟦s⟧d): each match of s
+// restricted to the given variables, with duplicates arising from the
+// restriction collapsed. Every name must be one of s.Vars(); the result's
+// Vars() is exactly the given names (duplicates removed). Projecting onto
+// no variables yields a boolean spanner whose only possible match is the
+// empty mapping, present exactly when s has any match.
+func Project(s *Spanner, vars []string, opts ...Option) (*Spanner, error) {
+	start := time.Now()
+	e, err := eva.Project(s.seq, vars...)
+	if err != nil {
+		return nil, err
+	}
+	pattern := fmt.Sprintf("project[%s](%s)", strings.Join(vars, ","), s.pattern)
+	return compileEVA(pattern, e, start, opts)
+}
+
+// Join returns a spanner denoting the natural join ⟦s1⟧d ⋈ ⟦s2⟧d: all
+// unions µ1 ∪ µ2 of compatible matches — pairs that agree on every shared
+// variable both of them assign. With disjoint variable sets this is the
+// cross product of the two match sets, present only on documents both
+// spanners match; with shared variables it filters pairs to those binding
+// the shared variables to identical spans.
+//
+// The construction is the synchronized product of the two underlying
+// automata; incompatible marker behavior on shared variables is eliminated
+// by the sequentialization step of the compilation pipeline, so Stats().
+// Sequentialized is typically true for joins with shared variables.
+func Join(s1, s2 *Spanner, opts ...Option) (*Spanner, error) {
+	start := time.Now()
+	e, err := eva.Join(s1.seq, s2.seq)
+	if err != nil {
+		return nil, err
+	}
+	return compileEVA(fmt.Sprintf("join(%s, %s)", s1.pattern, s2.pattern), e, start, opts)
+}

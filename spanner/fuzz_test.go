@@ -21,6 +21,7 @@ import (
 	"testing"
 
 	"spanners/internal/gen"
+	"spanners/internal/model"
 	"spanners/spanner"
 )
 
@@ -168,5 +169,65 @@ func FuzzStrictLazyEquivalence(f *testing.F) {
 		if chunked := chunkedKeys(t, strict, doc, rng); fmt.Sprint(chunked) != fmt.Sprint(want) {
 			t.Fatalf("stream chunking diverges\npattern %s doc %q", node, doc)
 		}
+	})
+}
+
+// FuzzAlgebraOracle is the algebra half of the differential harness: for
+// random pattern pairs and documents it checks Union, Join and Project
+// against the set-theoretic composition of brute-force oracle results.
+// Documents are kept tiny — the oracle enumerates every candidate marker
+// placement, exponential in the variable count.
+func FuzzAlgebraOracle(f *testing.F) {
+	f.Add(uint64(1), uint64(2), []byte("ab"))
+	f.Add(uint64(7), uint64(7), []byte("bab"))
+	f.Add(uint64(42), uint64(3), []byte(""))
+	f.Add(uint64(9), uint64(11), []byte("aaab"))
+	f.Fuzz(func(t *testing.T, seed1, seed2 uint64, raw []byte) {
+		n1 := gen.RandomRGX(rand.New(rand.NewSource(int64(seed1))), 3, []string{"x", "y"}, "ab")
+		n2 := gen.RandomRGX(rand.New(rand.NewSource(int64(seed2))), 3, []string{"y", "z"}, "ab")
+		s1, err := spanner.CompileNode(n1)
+		if err != nil {
+			t.Skip()
+		}
+		s2, err := spanner.CompileNode(n2)
+		if err != nil {
+			t.Skip()
+		}
+		if len(raw) > 5 {
+			raw = raw[:5]
+		}
+		doc := make([]byte, len(raw))
+		for i, b := range raw {
+			doc[i] = 'a' + b%2
+		}
+		p1, p2 := n1.String(), n2.String()
+		o1, o2 := oracleSet(t, p1, doc), oracleSet(t, p2, doc)
+
+		union, err := spanner.Union(s1, s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSet(t, "fuzz union", union, doc, model.UnionSets(o1, o2))
+
+		join, err := spanner.Join(s1, s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantJ, err := model.JoinSets(o1, o2, spannerRegistry(t, p1), spannerRegistry(t, p2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSet(t, "fuzz join", join, doc, wantJ)
+
+		keep := knownVars(s1, []string{"x"})
+		proj, err := spanner.Project(s1, keep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantP, err := model.ProjectSet(o1, keep, model.NewRegistryOf(keep...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSet(t, "fuzz project", proj, doc, wantP)
 	})
 }

@@ -109,6 +109,12 @@ type Spanner struct {
 	vars    []string
 	stats   Stats
 
+	// seq is the trimmed sequential eVA the determinization strategies start
+	// from. It is retained (immutably) because the algebra constructors —
+	// Union, Project, Join — compose spanners at exactly this stage of the
+	// pipeline, before determinization.
+	seq *eva.EVA
+
 	dense *eva.Compiled // strict path; nil in lazy mode
 
 	mu   sync.Mutex // guards lazy, whose memo tables mutate during evaluation
@@ -148,26 +154,39 @@ func MustCompile(pattern string, opts ...Option) *Spanner {
 // CompileNode compiles an already-parsed regex formula.
 func CompileNode(n rgx.Node, opts ...Option) (*Spanner, error) {
 	start := time.Now()
-	var cfg config
-	for _, o := range opts {
-		o(&cfg)
-	}
 	v, err := rgx.Compile(n)
 	if err != nil {
 		return nil, err
 	}
-	seq, sequentialized := sequentialEVA(v.ToExtended())
+	s, err := compileEVA(n.String(), v.ToExtended(), start, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.VAStates = v.NumStates()
+	s.stats.VATransitions = v.NumTransitions()
+	return s, nil
+}
+
+// compileEVA finishes the pipeline from an arbitrary (possibly
+// non-sequential, nondeterministic) eVA: trim → sequentialize if needed →
+// determinize per the chosen mode. It is shared by CompileNode and the
+// algebra constructors; start anchors CompileTime at the caller's entry.
+func compileEVA(pattern string, e *eva.EVA, start time.Time, opts []Option) (*Spanner, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	seq, sequentialized := sequentialEVA(e)
 	s := &Spanner{
-		pattern: n.String(),
+		pattern: pattern,
 		mode:    cfg.mode,
 		vars:    seq.Registry().Names(),
+		seq:     seq,
 		stats: Stats{
-			Pattern:        n.String(),
+			Pattern:        pattern,
 			Vars:           seq.Registry().Names(),
 			Mode:           cfg.mode,
 			Sequentialized: sequentialized,
-			VAStates:       v.NumStates(),
-			VATransitions:  v.NumTransitions(),
 			EVAStates:      seq.NumStates(),
 			EVATransitions: seq.NumTransitions(),
 		},
@@ -314,8 +333,9 @@ func (s *Spanner) All(doc []byte) iter.Seq[*Match] {
 
 // Count returns |⟦A⟧doc| in O(|A|·|doc|) without enumerating (Theorem 5.1).
 // exact is false when any step of the uint64 arithmetic overflowed — the
-// returned count is then unreliable; use CountBig (or the hybrid
-// CountReader, which stays exact through intermediate overflows) instead.
+// returned count is then the low 64 bits of the true total; use CountBig
+// (or the hybrid CountReader, which stays exact through intermediate
+// overflows) for the full value.
 func (s *Spanner) Count(doc []byte) (count uint64, exact bool) {
 	if s.lazy != nil {
 		s.mu.Lock()
@@ -340,6 +360,16 @@ func (s *Spanner) CountBig(doc []byte) *big.Int {
 // enumeration DAG.
 func (s *Spanner) IsEmpty(doc []byte) bool {
 	n, exact := s.Count(doc)
-	// An inexact count overflowed uint64, so it is certainly non-zero.
-	return exact && n == 0
+	if n != 0 {
+		// Exact or wrapped, a non-zero low-64-bits count means matches.
+		return false
+	}
+	if exact {
+		return true
+	}
+	// (0, false) is ambiguous: the intermediate arithmetic overflowed (so
+	// some state count was once huge) yet the low 64 bits of the total are
+	// zero — either every run died after the overflow (truly empty) or the
+	// true total is a multiple of 2^64. Resolve with exact arithmetic.
+	return s.CountBig(doc).Sign() == 0
 }

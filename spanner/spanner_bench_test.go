@@ -171,6 +171,61 @@ func BenchmarkFacadeEnumerate(b *testing.B) {
 	}
 }
 
+// BenchmarkIsEmptyDeadPrefix measures the counting pass on a document the
+// automaton rejects immediately: an anchored pattern dies on the first
+// byte, so the early-exit in the counting loops makes IsEmpty proportional
+// to where the automaton dies, not to the document length (1 MB here).
+// ns_per_op is the tracked metric — a throughput figure would count the
+// ~1 MB the early exit deliberately never scans.
+func BenchmarkIsEmptyDeadPrefix(b *testing.B) {
+	s := spanner.MustCompile(`abc(a|b|c)*`)
+	doc := make([]byte, 1<<20)
+	for i := range doc {
+		doc[i] = 'z'
+	}
+	for i := 0; i < b.N; i++ {
+		if !s.IsEmpty(doc) {
+			b.Fatal("document unexpectedly matched")
+		}
+	}
+}
+
+// BenchmarkAlgebraEnumerate measures the full facade path on composed
+// spanners: a union of two extraction patterns and a join of an extraction
+// pattern with a boolean filter (the document-intersection use of natural
+// join). Composed spanners run the same dense-dispatch scan and
+// constant-delay enumeration as directly compiled ones.
+func BenchmarkAlgebraEnumerate(b *testing.B) {
+	doc := benchScanDoc()
+	contacts := spanner.MustCompile(gen.Figure1Pattern())
+	numbers := spanner.MustCompile(`.*!num{(0|1|2|3|4|5|6|7|8|9)+}.*`)
+	filter := spanner.MustCompile(`.*@.*`)
+
+	union, err := spanner.Union(contacts, numbers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	join, err := spanner.Join(contacts, filter)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bench := range []struct {
+		name string
+		s    *spanner.Spanner
+	}{{"union", union}, {"join", join}} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.SetBytes(int64(len(doc)))
+			for i := 0; i < b.N; i++ {
+				n := 0
+				bench.s.Enumerate(doc, func(*spanner.Match) bool { n++; return true })
+				if n == 0 {
+					b.Fatal("no matches")
+				}
+			}
+		})
+	}
+}
+
 // chunkedBenchReader replays a document in fixed-size chunks for the
 // streaming benchmarks.
 type chunkedBenchReader struct {

@@ -1,7 +1,10 @@
 package spanner_test
 
 import (
+	"bytes"
+	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 
@@ -231,6 +234,38 @@ func TestGoroutineSafety(t *testing.T) {
 			}(g)
 		}
 		wg.Wait()
+	}
+}
+
+// TestIsEmptyOverflowThenDeath pins IsEmpty on the ambiguous (0, false)
+// counting outcome: 12 nested variables over 60 a's push the intermediate
+// uint64 counts past overflow, then a trailing 'b' kills every run. The
+// wrapped count is 0 with exact == false — under the low-64-bits contract
+// that no longer implies "certainly non-zero", so IsEmpty must resolve the
+// ambiguity with exact arithmetic and report true.
+func TestIsEmptyOverflowThenDeath(t *testing.T) {
+	// a*!x1{a*…!x12{a*}…a*}: nested captures over an a-only alphabet, so a
+	// trailing 'b' is fatal after the counts have already overflowed.
+	var p strings.Builder
+	for i := 1; i <= 12; i++ {
+		fmt.Fprintf(&p, "a*!x%d{", i)
+	}
+	p.WriteString("a*")
+	for i := 1; i <= 12; i++ {
+		p.WriteString("}a*")
+	}
+	s := spanner.MustCompile(p.String())
+	doc := append(bytes.Repeat([]byte("a"), 60), 'b')
+	n, exact := s.Count(doc)
+	if exact || n != 0 {
+		t.Fatalf("Count = (%d, %v); the construction no longer hits the ambiguous case", n, exact)
+	}
+	if !s.IsEmpty(doc) {
+		t.Fatal("IsEmpty = false on a document with zero matches")
+	}
+	// The unambiguous directions stay cheap and correct.
+	if s.IsEmpty(bytes.Repeat([]byte("a"), 60)) {
+		t.Fatal("IsEmpty = true on a matching document with overflowing counts")
 	}
 }
 

@@ -159,8 +159,8 @@ func (s *Spanner) countStream(r io.Reader, total func(*core.CountStream)) error 
 
 // CountReader returns |⟦A⟧d| for the document read from r, in one pass and
 // O(states) memory — the document is never materialized. exact is false
-// only when |⟦A⟧d| itself does not fit in uint64; CountBigReader is exact
-// always. Because the streaming pass migrates to big integers on the first
+// only when |⟦A⟧d| itself does not fit in uint64 (count is then its low 64
+// bits); CountBigReader is exact always. Because the streaming pass migrates to big integers on the first
 // intermediate overflow, CountReader can report an exact count on a
 // document where Count reports exact == false (an overflowing state count
 // whose runs all die), never the reverse: whenever Count is exact, the two
