@@ -1,12 +1,14 @@
 // Command spanners is a grep-like front end for the constant-delay
-// document-spanner engine: it compiles a regex formula once and extracts
-// every capture mapping from the given files (or stdin).
+// document-spanner engine: it compiles a regex formula (or a whole query
+// expression) once and extracts every capture mapping from the given files
+// (or stdin).
 //
 //	spanners '.*!user{[a-z0-9]+}@!host{[a-z0-9.]+}.*' mail.txt
 //	spanners -count '.*!ip{\d+\.\d+\.\d+\.\d+}.*' access.log
 //	spanners -j 8 PATTERN *.log
 //	cat doc | spanners -json '!w{\w+}(.|\n)*'
-//	spanners -union '.*!num{\d+}.*' -project num,user PATTERN mail.txt
+//	spanners -query 'project[user](union(/.*!user{\w+}@.*/, /.*!user{\w+}:.*/))' mail.txt
+//	spanners -timeout 2s -query 'join(/.*!x{a+}.*/, /.*b.*/)' big.log
 //
 // Each output line is one match. In text mode a match renders as
 // tab-separated "var=[start,end) "text"" bindings (byte offsets, half-open);
@@ -16,21 +18,26 @@
 // output order is identical to the serial order. Stdin is consumed
 // incrementally (chunk-by-chunk preprocessing), so matching starts the
 // moment the pipe closes, and -count over stdin never materializes the
-// document at all.
+// document at all. -timeout D cancels everything — queued files, in-flight
+// preprocessing, enumeration — after D.
 //
-// The spanner algebra composes PATTERN with further patterns before
-// evaluation: each (repeatable) -union PAT adds PAT's matches, each
-// (repeatable) -join PAT natural-joins with PAT's matches — shared
-// variables must bind identical spans; a variable-free PAT acts as a
-// document filter — and -project x,y finally restricts the output to the
-// listed variables. Unions apply first, then joins, then the projection.
+// Composition is expressed with -query: a single expression over
+// /pattern/ literals combining union(…), join(…) and project[…](…), parsed
+// into a logical plan, optimized (n-ary union flattening, projection
+// pushdown, subexpression deduplication, join ordering), and compiled
+// once; -stats prints the plan before and after optimization. The older
+// repeatable flags remain as shims over the same machinery: each -union
+// PAT adds PAT's matches, each -join PAT natural-joins with PAT's matches,
+// and -project x,y restricts the output — unions apply first, then joins,
+// then the projection.
 //
 // Exit status follows the grep convention: 0 when at least one input
 // matched, 1 when nothing matched, 2 on any error (bad pattern, unreadable
-// file, write failure).
+// file, write failure, timeout).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,7 +53,7 @@ import (
 const (
 	exitMatch   = 0 // at least one input produced a match
 	exitNoMatch = 1 // everything evaluated, no input matched
-	exitError   = 2 // usage, compile, read, or write error
+	exitError   = 2 // usage, compile, read, write, or timeout error
 )
 
 func main() {
@@ -54,9 +61,12 @@ func main() {
 }
 
 const usage = `usage: spanners [flags] PATTERN [FILE ...]
+       spanners [flags] -query EXPR [FILE ...]
 
-Extracts document spans matching a regex formula with captures !var{...}.
-Reads stdin when no files are given. Flags:
+Extracts document spans matching a regex formula with captures !var{...},
+or a -query expression combining /pattern/ literals with union(...),
+join(...) and project[vars](...). Reads stdin when no files are given.
+Flags:
 `
 
 // multiFlag collects the values of a repeatable string flag.
@@ -69,18 +79,21 @@ func (m *multiFlag) Set(v string) error {
 	return nil
 }
 
-// compose builds the evaluated spanner: the positional pattern, united with
-// each -union pattern, joined with each -join pattern, then projected onto
-// the -project variables (when given).
-//
-// The algebra constructors read only their operands' pre-determinization
-// automata, so operands and intermediate compositions are compiled lazily
-// (O(1) determinization setup); the caller's real options — in particular
-// strict mode's full determinization and dense table — are spent only on
-// the final spanner, the one actually evaluated.
-func compose(pattern string, unions, joins []string, project string, opts []spanner.Option) (*spanner.Spanner, error) {
-	var vars []string
+// buildQuery translates the legacy composition flags into a query
+// expression: the positional pattern, united with each -union pattern,
+// joined with each -join pattern, then projected onto the -project
+// variables (when given). The query compiles once, after plan
+// optimization — the shims cost nothing over writing -query by hand.
+func buildQuery(pattern string, unions, joins []string, project string) (*spanner.Query, error) {
+	q := spanner.Pattern(pattern)
+	for _, p := range unions {
+		q = q.Union(spanner.Pattern(p))
+	}
+	for _, p := range joins {
+		q = q.Join(spanner.Pattern(p))
+	}
 	if project != "" {
+		var vars []string
 		for _, v := range strings.Split(project, ",") {
 			if v = strings.TrimSpace(v); v != "" {
 				vars = append(vars, v)
@@ -89,49 +102,9 @@ func compose(pattern string, unions, joins []string, project string, opts []span
 		if len(vars) == 0 {
 			return nil, fmt.Errorf("-project %q names no variables", project)
 		}
+		q = q.Project(vars...)
 	}
-	steps := len(unions) + len(joins)
-	if len(vars) > 0 {
-		steps++
-	}
-	lazy := []spanner.Option{spanner.WithLazy()}
-	// stepOpts is called once per compile step, in order (base pattern,
-	// unions, joins, projection); the last step gets the real options.
-	stepOpts := func() []spanner.Option {
-		steps--
-		if steps < 0 {
-			return opts
-		}
-		return lazy
-	}
-	sp, err := spanner.Compile(pattern, stepOpts()...)
-	if err != nil {
-		return nil, err
-	}
-	for _, p := range unions {
-		other, err := spanner.Compile(p, lazy...)
-		if err != nil {
-			return nil, err
-		}
-		if sp, err = spanner.Union(sp, other, stepOpts()...); err != nil {
-			return nil, err
-		}
-	}
-	for _, p := range joins {
-		other, err := spanner.Compile(p, lazy...)
-		if err != nil {
-			return nil, err
-		}
-		if sp, err = spanner.Join(sp, other, stepOpts()...); err != nil {
-			return nil, err
-		}
-	}
-	if len(vars) > 0 {
-		if sp, err = spanner.Project(sp, vars, stepOpts()...); err != nil {
-			return nil, err
-		}
-	}
-	return sp, nil
+	return q, nil
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
@@ -146,34 +119,74 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		countOnly = fs.Bool("count", false, "print only the number of matches per input")
 		jsonOut   = fs.Bool("json", false, "emit matches as NDJSON objects")
 		lazy      = fs.Bool("lazy", false, "determinize on the fly instead of ahead of time")
-		stats     = fs.Bool("stats", false, "print automaton statistics to stderr")
+		stats     = fs.Bool("stats", false, "print automaton statistics (and the query plan) to stderr")
 		limit     = fs.Int("limit", 0, "stop after this many matches per input (0 = no limit)")
 		jobs      = fs.Int("j", 1, "evaluate FILE arguments concurrently with this many workers")
 		project   = fs.String("project", "", "restrict output to these comma-separated variables (applied last)")
+		queryStr  = fs.String("query", "", "evaluate this query expression instead of a positional PATTERN")
+		timeout   = fs.Duration("timeout", 0, "cancel evaluation after this duration (0 = none)")
+		noOpt     = fs.Bool("no-optimize", false, "compile the query plan exactly as written (skip the logical optimizer)")
 	)
 	fs.Var(&unions, "union", "also match this pattern (repeatable; spanner union)")
 	fs.Var(&joins, "join", "natural-join with this pattern's matches (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return exitError
 	}
-	if fs.NArg() < 1 {
-		fs.Usage()
-		return exitError
-	}
-	pattern := fs.Arg(0)
-	files := fs.Args()[1:]
 
 	opts := []spanner.Option{spanner.WithStrict()}
 	if *lazy {
 		opts = []spanner.Option{spanner.WithLazy()}
 	}
-	sp, err := compose(pattern, unions, joins, *project, opts)
+	if *noOpt {
+		opts = append(opts, spanner.WithoutOptimization())
+	}
+
+	var sp *spanner.Spanner
+	var files []string
+	var err error
+	switch {
+	case *queryStr != "":
+		if len(unions) > 0 || len(joins) > 0 || *project != "" {
+			fmt.Fprintln(stderr, "spanners: -query cannot be combined with -union/-join/-project (compose inside the expression instead)")
+			return exitError
+		}
+		var q *spanner.Query
+		if q, err = spanner.ParseQuery(*queryStr); err == nil {
+			sp, err = q.Compile(opts...)
+		}
+		files = fs.Args()
+	case fs.NArg() < 1:
+		fs.Usage()
+		return exitError
+	case len(unions) == 0 && len(joins) == 0 && *project == "":
+		// A plain positional pattern takes the direct pipeline: -stats then
+		// reports the VA stage and echoes the pattern exactly as typed.
+		sp, err = spanner.Compile(fs.Arg(0), opts...)
+		files = fs.Args()[1:]
+	default:
+		var q *spanner.Query
+		if q, err = buildQuery(fs.Arg(0), unions, joins, *project); err == nil {
+			sp, err = q.Compile(opts...)
+		}
+		files = fs.Args()[1:]
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "spanners: %v\n", err)
 		return exitError
 	}
 	if *stats {
 		printStats(stderr, sp)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+		// The library's Reader entry points check the context between
+		// Reads but cannot interrupt a Read that is itself blocked (a
+		// stalled pipe); wrap stdin so the deadline wins even then.
+		stdin = newDeadlineReader(ctx, stdin)
 	}
 
 	inputs := files
@@ -189,9 +202,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	var matched bool
 	if *jobs > 1 && len(files) > 1 {
-		matched, err = runBatch(sp, files, stdin, *jobs, *countOnly, *limit, r)
+		matched, err = runBatch(ctx, sp, files, stdin, *jobs, *countOnly, *limit, r)
 	} else {
-		matched, err = runSerial(sp, inputs, stdin, *countOnly, *limit, r)
+		matched, err = runSerial(ctx, sp, inputs, stdin, *countOnly, *limit, r)
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "spanners: %v\n", err)
@@ -209,14 +222,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 // runSerial evaluates the inputs one after the other. Stdin ("-") is
 // consumed incrementally through the streaming entry points; files are read
 // whole (their matches need the document bytes anyway).
-func runSerial(sp *spanner.Spanner, inputs []string, stdin io.Reader, countOnly bool, limit int, r *renderer) (matched bool, err error) {
+func runSerial(ctx context.Context, sp *spanner.Spanner, inputs []string, stdin io.Reader, countOnly bool, limit int, r *renderer) (matched bool, err error) {
 	for _, name := range inputs {
 		var m bool
 		var e error
 		if name == "-" {
-			m, e = processStdin(sp, stdin, countOnly, limit, r)
+			m, e = processStdin(ctx, sp, stdin, countOnly, limit, r)
 		} else {
-			m, e = processFile(sp, name, countOnly, limit, r)
+			m, e = processFile(ctx, sp, name, countOnly, limit, r)
 		}
 		if e != nil {
 			return matched, e
@@ -229,16 +242,16 @@ func runSerial(sp *spanner.Spanner, inputs []string, stdin io.Reader, countOnly 
 // processStdin streams stdin through the incremental evaluator: -count
 // runs the O(states)-memory counting pass; otherwise preprocessing happens
 // as chunks arrive and enumeration starts at EOF.
-func processStdin(sp *spanner.Spanner, stdin io.Reader, countOnly bool, limit int, r *renderer) (matched bool, err error) {
+func processStdin(ctx context.Context, sp *spanner.Spanner, stdin io.Reader, countOnly bool, limit int, r *renderer) (matched bool, err error) {
 	if countOnly {
-		n, err := sp.CountBigReader(stdin)
+		n, err := sp.CountBigReaderContext(ctx, stdin)
 		if err != nil {
 			return false, err
 		}
 		return n.Sign() > 0, r.count("-", n.String())
 	}
 	emitted := 0
-	err = sp.EnumerateReader(stdin, func(m *spanner.Match) bool {
+	err = sp.EnumerateReaderContext(ctx, stdin, func(m *spanner.Match) bool {
 		matched = true
 		if !r.match("-", m) {
 			return false
@@ -252,16 +265,20 @@ func processStdin(sp *spanner.Spanner, stdin io.Reader, countOnly bool, limit in
 	return matched, err
 }
 
-func processFile(sp *spanner.Spanner, name string, countOnly bool, limit int, r *renderer) (matched bool, err error) {
+func processFile(ctx context.Context, sp *spanner.Spanner, name string, countOnly bool, limit int, r *renderer) (matched bool, err error) {
 	doc, err := os.ReadFile(name)
 	if err != nil {
 		return false, err
 	}
 	if countOnly {
-		return r.countDoc(sp, name, doc)
+		val, pos, err := countValue(ctx, sp, doc)
+		if err != nil {
+			return false, err
+		}
+		return pos, r.count(name, val)
 	}
 	emitted := 0
-	sp.Enumerate(doc, func(m *spanner.Match) bool {
+	err = sp.EnumerateContext(ctx, doc, func(m *spanner.Match) bool {
 		matched = true
 		if !r.match(name, m) {
 			return false
@@ -269,7 +286,10 @@ func processFile(sp *spanner.Spanner, name string, countOnly bool, limit int, r 
 		emitted++
 		return limit == 0 || emitted < limit
 	})
-	return matched, r.err
+	if err == nil {
+		err = r.err
+	}
+	return matched, err
 }
 
 // batchLoader returns the document loader for a batch of FILE arguments.
@@ -300,13 +320,14 @@ func batchLoader(files []string, stdin io.Reader) func(engine.DocID) ([]byte, er
 // lazily inside the workers, so resident memory stays bounded by the
 // in-flight window regardless of how many files are listed, and the merged
 // output — including where a read error surfaces — is byte-identical to
-// the serial order.
-func runBatch(sp *spanner.Spanner, files []string, stdin io.Reader, jobs int, countOnly bool, limit int, r *renderer) (matched bool, err error) {
+// the serial order. Cancellation (the -timeout flag) stops queued and
+// in-flight work promptly.
+func runBatch(ctx context.Context, sp *spanner.Spanner, files []string, stdin io.Reader, jobs int, countOnly bool, limit int, r *renderer) (matched bool, err error) {
 	if countOnly {
-		return runBatchCount(sp, files, stdin, jobs, r)
+		return runBatchCount(ctx, sp, files, stdin, jobs, r)
 	}
 	eng := engine.New(sp, engine.Workers(jobs))
-	eng.Process(len(files),
+	ctxErr := eng.ProcessContext(ctx, len(files),
 		batchLoader(files, stdin),
 		func(i engine.DocID, ev *spanner.Evaluation, e error) bool {
 			if e != nil {
@@ -325,6 +346,9 @@ func runBatch(sp *spanner.Spanner, files []string, stdin io.Reader, jobs int, co
 			return r.err == nil
 		})
 	if err == nil {
+		err = ctxErr
+	}
+	if err == nil {
 		err = r.err
 	}
 	return matched, err
@@ -333,7 +357,7 @@ func runBatch(sp *spanner.Spanner, files []string, stdin io.Reader, jobs int, co
 // runBatchCount runs the per-file counting pass on an engine.Map pool:
 // each worker reads a file, counts, and drops the document, so memory
 // stays at O(workers) files and the counts print in input order.
-func runBatchCount(sp *spanner.Spanner, files []string, stdin io.Reader, jobs int, r *renderer) (matched bool, err error) {
+func runBatchCount(ctx context.Context, sp *spanner.Spanner, files []string, stdin io.Reader, jobs int, r *renderer) (matched bool, err error) {
 	load := batchLoader(files, stdin)
 	type result struct {
 		val string
@@ -346,8 +370,8 @@ func runBatchCount(sp *spanner.Spanner, files []string, stdin io.Reader, jobs in
 			if e != nil {
 				return result{err: e}
 			}
-			val, pos := countValue(sp, doc)
-			return result{val: val, pos: pos}
+			val, pos, e := countValue(ctx, sp, doc)
+			return result{val: val, pos: pos, err: e}
 		},
 		func(i int, res result) bool {
 			if res.err != nil {
@@ -438,19 +462,19 @@ func (r *renderer) count(name, val string) error {
 // inexact uint64 count is the low 64 bits of the true total, so by itself
 // it cannot distinguish "overflowed then every run died" (truly zero) from
 // a huge count.
-func countValue(sp *spanner.Spanner, doc []byte) (val string, pos bool) {
-	n, exact := sp.Count(doc)
-	if exact {
-		return fmt.Sprintf("%d", n), n > 0
+func countValue(ctx context.Context, sp *spanner.Spanner, doc []byte) (val string, pos bool, err error) {
+	n, exact, err := sp.CountContext(ctx, doc)
+	if err != nil {
+		return "", false, err
 	}
-	big := sp.CountBig(doc)
-	return big.String(), big.Sign() > 0
-}
-
-// countDoc renders one document's exact count.
-func (r *renderer) countDoc(sp *spanner.Spanner, name string, doc []byte) (matched bool, err error) {
-	val, pos := countValue(sp, doc)
-	return pos, r.count(name, val)
+	if exact {
+		return fmt.Sprintf("%d", n), n > 0, nil
+	}
+	big, err := sp.CountBigContext(ctx, doc)
+	if err != nil {
+		return "", false, err
+	}
+	return big.String(), big.Sign() > 0, nil
 }
 
 func printStats(w io.Writer, sp *spanner.Spanner) {
@@ -459,8 +483,12 @@ func printStats(w io.Writer, sp *spanner.Spanner) {
 	fmt.Fprintf(w, "variables:      %s\n", strings.Join(st.Vars, ", "))
 	fmt.Fprintf(w, "mode:           %s\n", st.Mode)
 	fmt.Fprintf(w, "sequentialized: %v\n", st.Sequentialized)
+	if st.Plan != nil {
+		fmt.Fprintf(w, "plan (logical):\n%s\n", indent(st.Plan.Logical, "  "))
+		fmt.Fprintf(w, "plan (optimized):\n%s\n", indent(st.Plan.Optimized, "  "))
+	}
 	if st.VAStates > 0 {
-		// Algebra-composed spanners start from eVAs, skipping the VA stage.
+		// Query-composed spanners start from eVAs, skipping the VA stage.
 		fmt.Fprintf(w, "VA:             %d states, %d transitions\n", st.VAStates, st.VATransitions)
 	}
 	fmt.Fprintf(w, "eVA:            %d states, %d transitions\n", st.EVAStates, st.EVATransitions)
@@ -468,4 +496,74 @@ func printStats(w io.Writer, sp *spanner.Spanner) {
 		fmt.Fprintf(w, "det eVA:        %d states, dense table %d bytes\n", st.DetStates, st.DenseTableBytes)
 	}
 	fmt.Fprintf(w, "compile time:   %s\n", st.CompileTime)
+}
+
+// indent prefixes every line of s.
+func indent(s, prefix string) string {
+	return prefix + strings.ReplaceAll(s, "\n", "\n"+prefix)
+}
+
+// deadlineReader makes a blocking Read interruptible: each underlying Read
+// runs on a goroutine and the caller's wait selects on ctx.Done(), so a
+// stalled pipe cannot outlive -timeout. When the deadline fires mid-Read,
+// the reading goroutine lingers until its Read returns — acceptable here
+// because the process exits right after; this is deliberately a CLI
+// construct, not a library one.
+type deadlineReader struct {
+	ctx     context.Context
+	r       io.Reader
+	res     chan readResult
+	buf     []byte
+	pending []byte // delivered by a past Read, not yet consumed
+	busy    bool   // a goroutine Read is in flight
+	err     error  // latched error, returned once pending drains
+}
+
+type readResult struct {
+	n   int
+	err error
+}
+
+func newDeadlineReader(ctx context.Context, r io.Reader) *deadlineReader {
+	return &deadlineReader{ctx: ctx, r: r, res: make(chan readResult, 1)}
+}
+
+func (d *deadlineReader) Read(p []byte) (int, error) {
+	if len(d.pending) > 0 {
+		n := copy(p, d.pending)
+		d.pending = d.pending[n:]
+		return n, nil
+	}
+	if d.err != nil {
+		return 0, d.err
+	}
+	if err := d.ctx.Err(); err != nil {
+		return 0, err
+	}
+	if !d.busy {
+		if d.buf == nil {
+			d.buf = make([]byte, 64<<10)
+		}
+		d.busy = true
+		go func() {
+			n, err := d.r.Read(d.buf)
+			d.res <- readResult{n, err}
+		}()
+	}
+	select {
+	case res := <-d.res:
+		d.busy = false
+		if res.err != nil {
+			d.err = res.err
+		}
+		if res.n > 0 {
+			d.pending = d.buf[:res.n]
+			n := copy(p, d.pending)
+			d.pending = d.pending[n:]
+			return n, nil
+		}
+		return 0, res.err
+	case <-d.ctx.Done():
+		return 0, d.ctx.Err()
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"spanners/internal/gen"
 	"spanners/spanner"
@@ -431,5 +432,171 @@ func TestCLICountOverflowPrintsExactValue(t *testing.T) {
 	out, _, code = runCLI(t, "", "-j", "2", "-count", nested.String(), dead, dead)
 	if code != 1 || strings.Contains(out, ":"+want) {
 		t.Fatalf("batch overflow-then-death exit = %d (out %q), want 1", code, out)
+	}
+}
+
+// TestCLIQueryFlag checks that -query expressions evaluate, that they
+// produce exactly what the equivalent legacy flags produce, and that the
+// exclusivity and error paths hold.
+func TestCLIQueryFlag(t *testing.T) {
+	doc := []byte("ab@ba ba:a")
+	f := writeTemp(t, "doc.txt", doc)
+	const pEmail = `(a|b|:|@| )*!user{(a|b)+}@(a|b|:|@| )*`
+	const pPhone = `(a|b|:|@| )*!user{(a|b)+}:(a|b|:|@| )*`
+
+	legacyOut, _, legacyCode := runCLI(t, "", "-union", pPhone, "-project", "user", pEmail, f)
+	queryOut, _, queryCode := runCLI(t, "",
+		"-query", fmt.Sprintf("project[user](union(/%s/, /%s/))", pEmail, pPhone), f)
+	if legacyCode != 0 || queryCode != 0 {
+		t.Fatalf("exits = %d/%d, want 0", legacyCode, queryCode)
+	}
+	if queryOut != legacyOut {
+		t.Fatalf("-query output differs from legacy flags:\n%q\n%q", queryOut, legacyOut)
+	}
+	if !strings.Contains(queryOut, "user=") {
+		t.Fatalf("no user bindings:\n%s", queryOut)
+	}
+
+	// -query is exclusive with the legacy composition flags.
+	if _, stderr, code := runCLI(t, "", "-query", "/a/", "-union", "b", f); code != exitError ||
+		!strings.Contains(stderr, "-query cannot be combined") {
+		t.Fatalf("exclusivity: exit %d, stderr %q", code, stderr)
+	}
+	// Parse errors exit 2 with a diagnostic.
+	if _, stderr, code := runCLI(t, "", "-query", "union(/a/", f); code != exitError ||
+		!strings.Contains(stderr, "parse error") {
+		t.Fatalf("parse error: exit %d, stderr %q", code, stderr)
+	}
+	// Plan-validation errors too.
+	if _, stderr, code := runCLI(t, "", "-query", "project[zzz](/a/)", f); code != exitError ||
+		!strings.Contains(stderr, "not bound") {
+		t.Fatalf("validation error: exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestCLIQueryStatsShowsPlans checks the -stats wiring: a query compile
+// prints the logical and optimized plan trees.
+func TestCLIQueryStatsShowsPlans(t *testing.T) {
+	f := writeTemp(t, "doc.txt", []byte("ab"))
+	_, stderr, code := runCLI(t, "", "-stats",
+		"-query", "project[x](union(/(a|b)*!x{a+}/, union(/!x{b}(a|b)*/, /(a|b)*/)))", f)
+	if code > exitNoMatch {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{"plan (logical):", "plan (optimized):", "union"} {
+		if !strings.Contains(stderr, want) {
+			t.Fatalf("stats missing %q:\n%s", want, stderr)
+		}
+	}
+	// The optimized tree flattens the nested union: it appears once.
+	optPart := stderr[strings.Index(stderr, "plan (optimized):"):]
+	optPart = optPart[:strings.Index(optPart, "eVA:")]
+	if got := strings.Count(optPart, "union"); got != 1 {
+		t.Fatalf("optimized plan shows %d union nodes, want 1:\n%s", got, optPart)
+	}
+	// -no-optimize keeps the plan as written.
+	_, stderr, _ = runCLI(t, "", "-stats", "-no-optimize",
+		"-query", "union(/a/, union(/b/, /c/))", f)
+	optPart = stderr[strings.Index(stderr, "plan (optimized):"):]
+	optPart = optPart[:strings.Index(optPart, "eVA:")]
+	if got := strings.Count(optPart, "union"); got != 2 {
+		t.Fatalf("-no-optimize plan shows %d union nodes, want 2:\n%s", got, optPart)
+	}
+}
+
+// neverEnding yields 'a' forever: only a timeout can end a pass over it.
+type neverEnding struct{}
+
+func (neverEnding) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 'a'
+	}
+	return len(p), nil
+}
+
+// TestCLITimeout checks the -timeout flag end to end on the streaming
+// stdin path (an endless input only the deadline can stop) and on the
+// batch path.
+func TestCLITimeout(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-timeout", "100ms", "-count", "a*"}, neverEnding{}, &out, &errb)
+	if code != exitError {
+		t.Fatalf("exit = %d, want %d; stderr: %s", code, exitError, errb.String())
+	}
+	if !strings.Contains(errb.String(), "deadline") {
+		t.Fatalf("stderr should mention the deadline: %q", errb.String())
+	}
+
+	// A generous timeout lets normal evaluation finish untouched.
+	f := writeTemp(t, "doc.txt", gen.Figure1Doc())
+	out1, _, code1 := runCLI(t, "", gen.Figure1Pattern(), f)
+	out2, _, code2 := runCLI(t, "", "-timeout", "10s", gen.Figure1Pattern(), f)
+	if code1 != code2 || out1 != out2 {
+		t.Fatalf("timeout changed a finishing run: exit %d/%d", code1, code2)
+	}
+
+	// Batch path: many files, tiny timeout.
+	files := []string{"-timeout", "1ns", "-j", "4"}
+	files = append(files, gen.Figure1Pattern())
+	for i := 0; i < 8; i++ {
+		files = append(files, writeTemp(t, fmt.Sprintf("f%d.txt", i), gen.Contacts(2000, int64(i))))
+	}
+	_, errb2, code := runCLI(t, "", files...)
+	if code != exitError || !strings.Contains(errb2, "deadline") {
+		t.Fatalf("batch timeout: exit %d, stderr %q", code, errb2)
+	}
+}
+
+// stalledReader blocks forever on Read — only the -timeout deadline can
+// end a run over it.
+type stalledReader struct{}
+
+func (stalledReader) Read([]byte) (int, error) { select {} }
+
+// TestCLITimeoutStalledStdin pins that -timeout wins even when stdin's
+// Read itself is blocked (a stalled pipe), not just between reads.
+func TestCLITimeoutStalledStdin(t *testing.T) {
+	var out, errb bytes.Buffer
+	done := make(chan int, 1)
+	go func() { done <- run([]string{"-timeout", "100ms", "-count", "a*"}, stalledReader{}, &out, &errb) }()
+	select {
+	case code := <-done:
+		if code != exitError || !strings.Contains(errb.String(), "deadline") {
+			t.Fatalf("exit = %d, stderr %q", code, errb.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("-timeout did not interrupt a blocked stdin Read")
+	}
+}
+
+// TestCLIQueryLiteralEscapes pins the /…/ escape rules: \/ and \\ are
+// literal-level, every other backslash sequence (\d, \w, …) passes through
+// to the formula unchanged.
+func TestCLIQueryLiteralEscapes(t *testing.T) {
+	f := writeTemp(t, "doc.txt", []byte("a7b"))
+	out, stderr, code := runCLI(t, "", "-query", `/a!x{\d}b/`, f)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(out, `x=[1,2) "7"`) {
+		t.Fatalf("\\d inside a /…/ literal must mean digits:\n%s", out)
+	}
+}
+
+// TestCLIPlainPatternStatsKeepsVAStage pins that a plain positional
+// PATTERN (no composition flags) still takes the direct pipeline: -stats
+// echoes the pattern exactly as typed and reports the VA stage, which
+// query lowering (eVA-level composition) necessarily skips.
+func TestCLIPlainPatternStatsKeepsVAStage(t *testing.T) {
+	f := writeTemp(t, "doc.txt", []byte("ab"))
+	_, stderr, code := runCLI(t, "", "-stats", "a!x{b}", f)
+	if code > exitNoMatch {
+		t.Fatalf("exit = %d:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "pattern:        a!x{b}\n") {
+		t.Fatalf("plain pattern not echoed verbatim:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "VA:") {
+		t.Fatalf("plain pattern lost the VA stats line:\n%s", stderr)
 	}
 }

@@ -24,6 +24,7 @@
 package engine
 
 import (
+	"context"
 	"iter"
 	"runtime"
 	"sync/atomic"
@@ -128,8 +129,20 @@ func (e *Engine) Run(docs [][]byte) iter.Seq2[DocID, *Match] {
 // 2×workers documents are resident at a time — loaded bytes and
 // preprocessing arenas both — whatever the batch size.
 func (e *Engine) Process(n int, load func(DocID) ([]byte, error), emit func(DocID, *spanner.Evaluation, error) bool) {
+	e.ProcessContext(context.Background(), n, load, emit)
+}
+
+// ProcessContext is Process with cancellation. When ctx is cancelled the
+// batch stops promptly at every stage: queued documents are skipped by the
+// workers, in-flight preprocessing passes abort between chunks
+// (spanner.PreprocessContext), and the consumer stops emitting — emit is
+// never called after the cancellation is observed. ProcessContext returns
+// ctx.Err() when the batch was cut short by the context, nil when every
+// document was emitted or emit stopped the batch itself. No goroutines are
+// leaked either way.
+func (e *Engine) ProcessContext(ctx context.Context, n int, load func(DocID) ([]byte, error), emit func(DocID, *spanner.Evaluation, error) bool) error {
 	if n == 0 {
-		return
+		return nil
 	}
 	workers := e.poolSize(n)
 
@@ -175,6 +188,7 @@ func (e *Engine) Process(n int, load func(DocID) ([]byte, error), emit func(DocI
 				case inflight <- struct{}{}:
 					ticket = true
 				case <-stopCh:
+				case <-ctx.Done():
 				}
 				i, ok := <-jobs
 				if !ok {
@@ -183,7 +197,7 @@ func (e *Engine) Process(n int, load func(DocID) ([]byte, error), emit func(DocI
 					}
 					return
 				}
-				if !ticket || stop.Load() {
+				if !ticket || stop.Load() || ctx.Err() != nil {
 					if ticket {
 						<-inflight
 					}
@@ -196,12 +210,17 @@ func (e *Engine) Process(n int, load func(DocID) ([]byte, error), emit func(DocI
 					results[i] <- result{err: err}
 					continue
 				}
-				ev := e.s.Preprocess(doc)
-				if stop.Load() {
-					// The consumer quit during the preprocessing pass;
+				// The context aborts in-flight preprocessing between chunks;
+				// a cancelled pass reports a nil Evaluation, like the stop
+				// path.
+				ev, err := e.s.PreprocessContext(ctx, doc)
+				if err != nil || stop.Load() {
+					// Cancelled, or the consumer quit during the pass;
 					// nobody will drain this result, so return the pooled
 					// scratch here instead of dropping it to the GC.
-					ev.Release()
+					if ev != nil {
+						ev.Release()
+					}
 					<-inflight
 					results[i] <- result{}
 					continue
@@ -217,19 +236,37 @@ func (e *Engine) Process(n int, load func(DocID) ([]byte, error), emit func(DocI
 		}
 	}()
 	for i := 0; i < n; i++ {
-		// Empty results (both fields nil) exist only on the stop path,
-		// which begins in the defer above — after this loop has returned —
-		// so the consumer never observes one.
-		res := <-results[i]
+		// Empty results (both fields nil) exist only on the stop and
+		// cancellation paths; the cancellation check below keeps the
+		// consumer from ever emitting one.
+		var res result
+		select {
+		case res = <-results[i]:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if err := ctx.Err(); err != nil {
+			// The select may race a delivered result against the
+			// cancellation; prefer the cancellation and never emit after
+			// it, releasing the undrained evaluation ourselves.
+			if res.ev != nil {
+				res.ev.Release()
+				<-inflight
+			}
+			return err
+		}
 		ok := emit(DocID(i), res.ev, res.err)
 		if res.ev != nil {
 			res.ev.Release()
 			<-inflight
 		}
 		if !ok {
-			return
+			return nil
 		}
 	}
+	// Every document was emitted: the batch completed, whatever the
+	// context did in the meantime.
+	return nil
 }
 
 // Map runs fn over the indexes [0, n) on a pool of workers and hands each

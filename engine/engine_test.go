@@ -1,9 +1,12 @@
 package engine_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -424,5 +427,197 @@ func TestComposedSpannerThroughEngine(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// settleGoroutines polls until the goroutine count drops back to at most
+// base, failing the test after a generous deadline. It gives cancelled
+// workers a moment to observe the stop and exit.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestProcessContextBackgroundMatchesProcess pins that ProcessContext with
+// a background context is Process: same deliveries, nil error.
+func TestProcessContextBackgroundMatchesProcess(t *testing.T) {
+	forceProcs(t, 4)
+	s := spanner.MustCompile(gen.Figure1Pattern())
+	docs := batch(40)
+	eng := engine.New(s)
+
+	var viaProcess, viaCtx []string
+	eng.Process(len(docs),
+		func(i engine.DocID) ([]byte, error) { return docs[i], nil },
+		func(i engine.DocID, ev *spanner.Evaluation, err error) bool {
+			ev.Enumerate(func(m *engine.Match) bool {
+				viaProcess = append(viaProcess, fmt.Sprintf("%d:%s", i, m.Key()))
+				return true
+			})
+			return true
+		})
+	err := eng.ProcessContext(context.Background(), len(docs),
+		func(i engine.DocID) ([]byte, error) { return docs[i], nil },
+		func(i engine.DocID, ev *spanner.Evaluation, err error) bool {
+			ev.Enumerate(func(m *engine.Match) bool {
+				viaCtx = append(viaCtx, fmt.Sprintf("%d:%s", i, m.Key()))
+				return true
+			})
+			return true
+		})
+	if err != nil {
+		t.Fatalf("ProcessContext(Background) = %v, want nil", err)
+	}
+	if fmt.Sprint(viaProcess) != fmt.Sprint(viaCtx) {
+		t.Fatal("ProcessContext(Background) deliveries differ from Process")
+	}
+}
+
+// TestProcessContextCancellationLeakFree is the cancellation leak test of
+// the issue: a batch cancelled mid-flight must return ctx.Err() promptly,
+// never call emit after the cancellation is observed, skip most of the
+// queued work, and leave no goroutines behind.
+func TestProcessContextCancellationLeakFree(t *testing.T) {
+	forceProcs(t, 4)
+	base := runtime.NumGoroutine()
+	s := spanner.MustCompile(gen.Figure1Pattern())
+	const n = 256
+	eng := engine.New(s, engine.Workers(4))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var loads atomic.Int64
+	emits := 0
+	err := eng.ProcessContext(ctx, n,
+		func(i engine.DocID) ([]byte, error) {
+			loads.Add(1)
+			return gen.Contacts(20, int64(i)), nil
+		},
+		func(i engine.DocID, ev *spanner.Evaluation, e error) bool {
+			emits++
+			if emits == 3 {
+				cancel()
+			}
+			return true
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if emits != 3 {
+		t.Fatalf("emit ran %d times; the consumer must never emit after observing the cancellation", emits)
+	}
+	settleGoroutines(t, base)
+	// Workers skip queued documents once cancelled: with a 4-worker pool
+	// (≤ 8 inflight tickets) and the consumer stopping at document 3, the
+	// vast majority of the 256 queued loads must never have started.
+	if l := loads.Load(); l > 64 {
+		t.Fatalf("%d of %d documents were loaded after a cancellation at document 3", l, n)
+	}
+}
+
+// TestProcessContextCancelWhileConsumerBlocked cancels while the consumer
+// is waiting on a document whose load never completes on its own: the
+// consumer must return promptly anyway (select on ctx.Done), and the
+// worker pool must unwind once the load is released.
+func TestProcessContextCancelWhileConsumerBlocked(t *testing.T) {
+	forceProcs(t, 2)
+	base := runtime.NumGoroutine()
+	s := spanner.MustCompile(`!x{a+}`)
+	eng := engine.New(s, engine.Workers(2))
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+
+	done := make(chan error, 1)
+	go func() {
+		done <- eng.ProcessContext(ctx, 4,
+			func(i engine.DocID) ([]byte, error) {
+				if i == 0 {
+					<-release // blocks until after the cancellation
+				}
+				return []byte("aaa"), nil
+			},
+			func(engine.DocID, *spanner.Evaluation, error) bool {
+				t.Error("emit must not run: document 0 never became ready before cancellation")
+				return false
+			})
+	}()
+	time.Sleep(10 * time.Millisecond) // let the pool block on document 0
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("ProcessContext did not return after cancellation (consumer stuck on a blocked load)")
+	}
+	close(release)
+	settleGoroutines(t, base)
+}
+
+// TestProcessContextCancelsInflightPreprocess checks that cancellation
+// aborts a preprocessing pass that is already running: one huge document
+// occupies a worker, the context is cancelled mid-pass, and the batch
+// returns without waiting for the pass to finish a full scan.
+func TestProcessContextCancelsInflightPreprocess(t *testing.T) {
+	forceProcs(t, 2)
+	base := runtime.NumGoroutine()
+	s := spanner.MustCompile(gen.Figure1Pattern())
+	doc := gen.Contacts(60000, 1) // ~1.4 MB: many 64 KiB cancellation windows
+	eng := engine.New(s, engine.Workers(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- eng.ProcessContext(ctx, 1,
+			func(engine.DocID) ([]byte, error) { close(started); return doc, nil },
+			func(engine.DocID, *spanner.Evaluation, error) bool { return true })
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not abort the in-flight preprocessing pass")
+	}
+	settleGoroutines(t, base)
+}
+
+// TestProcessContextCompletedBatchReturnsNil pins the contract that a
+// batch whose every document was emitted returns nil even if the context
+// is cancelled right as the batch finishes.
+func TestProcessContextCompletedBatchReturnsNil(t *testing.T) {
+	s := spanner.MustCompile(`!x{a+}`)
+	eng := engine.New(s, engine.Workers(2))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 4
+	emits := 0
+	err := eng.ProcessContext(ctx, n,
+		func(engine.DocID) ([]byte, error) { return []byte("aa"), nil },
+		func(i engine.DocID, ev *spanner.Evaluation, e error) bool {
+			emits++
+			if int(i) == n-1 {
+				cancel() // fires after the last document is already delivered
+			}
+			return true
+		})
+	if err != nil || emits != n {
+		t.Fatalf("completed batch: err = %v, emits = %d; want nil, %d", err, emits, n)
 	}
 }

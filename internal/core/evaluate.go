@@ -41,9 +41,8 @@ func Evaluate(a Automaton, doc []byte) *Result {
 // Collect) it first.
 func EvaluateScratch(a Automaton, doc []byte, sc *Scratch) *Result {
 	s := NewStream(a, sc)
-	s.process(doc)
-	s.buf = doc // the Result borrows the caller's document, as before
-	return s.Close()
+	s.FeedBorrowed(doc)
+	return s.CloseWith(doc) // the Result borrows the caller's document
 }
 
 // evaluation is the mutable state of one preprocessing pass. It is

@@ -65,6 +65,35 @@ func (s *Stream) Feed(chunk []byte) {
 	s.process(chunk)
 }
 
+// FeedBorrowed advances the pass over the next chunk without copying it
+// into the stream's internal document buffer. It exists for callers that
+// already own the whole document and want to drive the pass in bounded
+// steps (e.g. to check a context between them): they must hand the full
+// document to CloseWith instead of relying on the accumulated buffer.
+// Mixing Feed and FeedBorrowed on one stream corrupts the document buffer.
+func (s *Stream) FeedBorrowed(chunk []byte) {
+	if s.closed {
+		panic("core: Stream.FeedBorrowed after Close")
+	}
+	s.process(chunk)
+}
+
+// CloseWith is Close with doc as the Result's document buffer; it is the
+// closing half of the FeedBorrowed protocol. doc must be the concatenation
+// of every chunk fed so far. CloseWith panics if the stream was fed through
+// the copying Feed (the internal buffer already holds the document) or is
+// already closed.
+func (s *Stream) CloseWith(doc []byte) *Result {
+	if s.closed {
+		panic("core: Stream.CloseWith after Close")
+	}
+	if s.buf != nil {
+		panic("core: Stream.CloseWith after copying Feed")
+	}
+	s.buf = doc
+	return s.Close()
+}
+
 // process runs Capturing/Reading over chunk without touching the document
 // buffer; Evaluate uses it directly to borrow the caller's slice instead of
 // copying.

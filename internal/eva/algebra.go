@@ -21,29 +21,57 @@ import (
 // input, and Join leaves cross-automaton marker conflicts on shared
 // variables to be filtered by the downstream sequentialization product.
 
-// Union returns an eVA denoting ⟦a⟧d ∪ ⟦b⟧d over the merged registry: the
-// disjoint sum of the two automata with a fresh initial state that copies
-// the outgoing transitions (and finality) of both original initial states.
+// Union returns an eVA denoting ⟦a⟧d ∪ ⟦b⟧d over the merged registry; it is
+// UnionAll of the two operands.
+func Union(a, b *EVA) (*EVA, error) { return UnionAll(a, b) }
+
+// UnionAll returns an eVA denoting ⟦a1⟧d ∪ … ∪ ⟦ak⟧d over the merged
+// registries: the disjoint sum of all operands with a single fresh initial
+// state that copies the outgoing transitions (and finality) of every
+// original initial state. Building the k-ary sum directly, instead of
+// folding binary unions, adds one fresh state total rather than one per
+// fold step and copies each operand exactly once (a left fold re-embeds the
+// accumulated sum at every step, Θ(k²) copy work overall).
+//
 // Every accepting run of the result is an accepting run of exactly one
-// input, so sequential inputs yield a sequential result. Mappings of a
-// leave b's private variables unassigned and vice versa, matching the
-// partial-function semantics of Section 2.
-func Union(a, b *EVA) (*EVA, error) {
-	merged, fromA, fromB, err := model.Merge(a.Registry(), b.Registry())
+// operand, so sequential operands yield a sequential result. Mappings of
+// one operand leave the other operands' private variables unassigned,
+// matching the partial-function semantics of Section 2.
+func UnionAll(as ...*EVA) (*EVA, error) {
+	merged, vmaps, err := mergeRegistries(as)
 	if err != nil {
 		return nil, fmt.Errorf("eva: union: %w", err)
 	}
 	out := New(merged)
 	init := out.AddState()
 	out.SetInitial(init)
-	offA := out.embed(a, fromA)
-	offB := out.embed(b, fromB)
-	out.copyOutgoing(init, a, a.initial, offA, fromA)
-	out.copyOutgoing(init, b, b.initial, offB, fromB)
-	if (a.initial >= 0 && a.final[a.initial]) || (b.initial >= 0 && b.final[b.initial]) {
-		out.SetFinal(init, true)
+	for i, a := range as {
+		off := out.embed(a, vmaps[i])
+		out.copyOutgoing(init, a, a.initial, off, vmaps[i])
+		if a.initial >= 0 && a.final[a.initial] {
+			out.SetFinal(init, true)
+		}
 	}
 	return out, nil
+}
+
+// mergeRegistries folds model.Merge over the operands' registries and
+// returns, per operand, the variable remap into the merged registry.
+// Merge keeps its first argument's names first, in order, so each step
+// extends the accumulated registry without renumbering it and the vmaps of
+// earlier operands stay valid across the fold.
+func mergeRegistries(as []*EVA) (*model.Registry, [][]model.Var, error) {
+	merged := model.NewRegistry()
+	vmaps := make([][]model.Var, len(as))
+	for i, a := range as {
+		next, _, fromA, err := model.Merge(merged, a.Registry())
+		if err != nil {
+			return nil, nil, err
+		}
+		vmaps[i] = fromA
+		merged = next
+	}
+	return merged, vmaps, nil
 }
 
 // embed appends every state and transition of src to a, with src's

@@ -61,6 +61,93 @@ func TestUnionMatchesSetUnion(t *testing.T) {
 	}
 }
 
+// TestUnionAllMatchesChainedUnion checks the n-ary sum against both the
+// reference set union and the chained binary construction: same language,
+// but a single fresh initial state instead of one per fold step (the
+// intermediate initials become unreachable dead weight the chain carries
+// until the final trim).
+func TestUnionAllMatchesChainedUnion(t *testing.T) {
+	patterns := []string{`!x{a}b*`, `a!y{b}`, `(a|b)*`, `!x{a*}`, `!y{b}a*`}
+	operands := make([]*eva.EVA, len(patterns))
+	total := 0
+	for i, p := range patterns {
+		operands[i] = seqEVA(t, p)
+		total += operands[i].NumStates()
+	}
+	all, err := eva.UnionAll(operands...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := all.NumStates(), total+1; got != want {
+		t.Fatalf("UnionAll has %d states, want Σ operands + 1 fresh initial = %d", got, want)
+	}
+	chain := operands[0]
+	for _, e := range operands[1:] {
+		if chain, err = eva.Union(chain, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := chain.NumStates(), total+len(patterns)-1; got != want {
+		t.Fatalf("chained binary union has %d states, want Σ + %d fold initials = %d",
+			got, len(patterns)-1, want)
+	}
+	for _, doc := range algebraDocs {
+		want := refSet(t, patterns[0], doc)
+		for _, p := range patterns[1:] {
+			want = model.UnionSets(want, refSet(t, p, doc))
+		}
+		if got := all.Eval(doc); !got.Equal(want) {
+			t.Fatalf("UnionAll on %q:\n%v", doc, want.Diff(got, 10))
+		}
+		if got := chain.Eval(doc); !got.Equal(want) {
+			t.Fatalf("chained union on %q:\n%v", doc, want.Diff(got, 10))
+		}
+	}
+}
+
+// TestUnionAllDegenerate covers the 0- and 1-operand forms.
+func TestUnionAllDegenerate(t *testing.T) {
+	empty, err := eva.UnionAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := empty.Eval([]byte("a")).Len(); n != 0 {
+		t.Fatalf("UnionAll() accepts %d mappings, want 0", n)
+	}
+	if n := empty.Eval(nil).Len(); n != 0 {
+		t.Fatalf("UnionAll() accepts %d mappings on ε, want 0", n)
+	}
+	one := seqEVA(t, `!x{a}b*`)
+	single, err := eva.UnionAll(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range algebraDocs {
+		if got, want := single.Eval(doc), refSet(t, `!x{a}b*`, doc); !got.Equal(want) {
+			t.Fatalf("UnionAll(e) on %q:\n%v", doc, want.Diff(got, 10))
+		}
+	}
+}
+
+// TestUnionAllSharedOperand checks that the same automaton object may
+// appear as several operands (the lowering memo shares eVAs): each
+// occurrence is embedded independently.
+func TestUnionAllSharedOperand(t *testing.T) {
+	e := seqEVA(t, `!x{a}b*`)
+	u, err := eva.UnionAll(e, e, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := u.NumStates(), 3*e.NumStates()+1; got != want {
+		t.Fatalf("states = %d, want %d", got, want)
+	}
+	for _, doc := range algebraDocs {
+		if got, want := u.Eval(doc), refSet(t, `!x{a}b*`, doc); !got.Equal(want) {
+			t.Fatalf("idempotence on %q:\n%v", doc, want.Diff(got, 10))
+		}
+	}
+}
+
 func TestProjectMatchesSetProjection(t *testing.T) {
 	cases := []struct {
 		p    string

@@ -165,14 +165,17 @@ func (p *parser) parseAtom() (Node, error) {
 	}
 }
 
-func isIdentByte(c byte) bool {
+// IsIdentByte reports whether c may appear in a capture-variable name.
+// The query syntax of the spanner facade shares this predicate so its
+// project[...] lists accept exactly the names patterns can bind.
+func IsIdentByte(c byte) bool {
 	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
 }
 
 func (p *parser) parseCapture() (Node, error) {
 	p.pos++ // consume '!'
 	start := p.pos
-	for !p.eof() && isIdentByte(p.peek()) {
+	for !p.eof() && IsIdentByte(p.peek()) {
 		p.pos++
 	}
 	if p.pos == start {

@@ -1,8 +1,11 @@
 #!/bin/sh
 # Regenerates BENCH_spanner.json: runs the spanner benchmarks and records
 # throughput (MB/s) and per-result delay numbers as the perf baseline.
+# OUT overrides the output path (scripts/benchgate.sh writes to a temp file
+# to compare a fresh run against the committed baseline).
 set -e
 cd "$(dirname "$0")/.."
+OUT="${OUT:-BENCH_spanner.json}"
 
 go test -run='^$' -bench=. -benchtime="${BENCHTIME:-500ms}" ./spanner/ ./engine/ |
 awk -v go="$(go version | awk '{print $3}')" \
@@ -32,6 +35,6 @@ END {
   for (i = 0; i < n; i++)
     printf "    %s%s\n", rows[i], (i < n - 1 ? "," : "")
   printf "  ]\n}\n"
-}' > BENCH_spanner.json
+}' > "$OUT"
 
-cat BENCH_spanner.json
+cat "$OUT"

@@ -1,0 +1,76 @@
+#!/bin/sh
+# Warn-only benchmark regression gate (benchstat-style, self-contained): it
+# runs the benchmark suite fresh, compares every metric against the
+# committed BENCH_spanner.json baseline, and prints a warning for each
+# metric that regressed beyond THRESHOLD percent (default 20). Throughput
+# metrics (*_per_s) regress downward, cost metrics (ns/op, B/op, allocs)
+# upward. The gate never fails the build — CI runners are noisy and the
+# baseline is recorded on different hardware — it exists to make
+# regressions visible in the job log, where a human decides.
+#
+#   THRESHOLD=15 BENCHTIME=100ms ./scripts/benchgate.sh
+set -e
+cd "$(dirname "$0")/.."
+
+BASELINE="${BASELINE:-BENCH_spanner.json}"
+THRESHOLD="${THRESHOLD:-20}"
+
+if [ ! -f "$BASELINE" ]; then
+    echo "benchgate: no baseline at $BASELINE; nothing to compare" >&2
+    exit 0
+fi
+
+fresh="$(mktemp)"
+trap 'rm -f "$fresh" "$fresh.flat" "$fresh.base"' EXIT
+OUT="$fresh" BENCHTIME="${BENCHTIME:-100ms}" ./scripts/bench.sh > /dev/null
+
+# flatten turns each benchmark row of the JSON into "name metric value"
+# triples (iterations are run-length bookkeeping, not a metric).
+flatten() {
+    awk '
+        /"name"/ {
+            line = $0
+            gsub(/[{}" ]/, "", line)
+            sub(/,$/, "", line)
+            n = split(line, kv, ",")
+            name = ""
+            for (i = 1; i <= n; i++) {
+                split(kv[i], p, ":")
+                if (p[1] == "name") name = p[2]
+            }
+            if (name == "") next
+            for (i = 1; i <= n; i++) {
+                split(kv[i], p, ":")
+                if (p[1] != "name" && p[1] != "iterations")
+                    printf "%s %s %s\n", name, p[1], p[2]
+            }
+        }' "$1"
+}
+
+flatten "$BASELINE" > "$fresh.base"
+flatten "$fresh" > "$fresh.flat"
+
+awk -v T="$THRESHOLD" '
+    NR == FNR { base[$1 " " $2] = $3; next }
+    {
+        key = $1 " " $2
+        if (!(key in base)) { printf "benchgate: new metric %s = %s (no baseline)\n", key, $3; next }
+        old = base[key] + 0
+        new = $3 + 0
+        if (old == 0) next
+        if ($2 ~ /_per_s$/)
+            delta = (old - new) / old * 100    # throughput: lower is worse
+        else
+            delta = (new - old) / old * 100    # cost: higher is worse
+        if (delta > T) {
+            printf "::warning title=bench regression::%s %s: %s -> %s (%.1f%% worse than baseline, threshold %s%%)\n", \
+                $1, $2, old, new, delta, T
+            bad++
+        }
+    }
+    END {
+        if (bad) printf "benchgate: %d metric(s) regressed beyond %s%% (warn-only)\n", bad, T
+        else     printf "benchgate: no regression beyond %s%%\n", T
+    }' "$fresh.base" "$fresh.flat"
+
+exit 0

@@ -1,21 +1,15 @@
-// Spanner algebra: union, projection and natural join as facade-level
-// constructors. Real extraction workloads compose spanners — regular
-// spanners are closed under all three operations (Fagin et al.;
-// Peterfreund et al., "Complexity Bounds for Relational Algebra over
-// Document Spanners") — and composing at the automaton level, before
-// determinization, keeps every composed spanner on the same constant-delay
-// enumeration path as a directly compiled one: the result of each
-// constructor is an ordinary *Spanner supporting Enumerate, the Reader
-// entry points, counting, and the engine batch pool.
+// Deprecated eager algebra constructors, kept as thin wrappers over
+// one-node queries. Real extraction workloads compose spanners — regular
+// spanners are closed under union, projection and natural join (Fagin et
+// al.; Peterfreund et al., "Complexity Bounds for Relational Algebra over
+// Document Spanners") — but composing eagerly forces every intermediate
+// spanner through the compilation pipeline and leaves no seam for algebraic
+// optimization. The Query API (Pattern / Query.Union / Query.Join /
+// Query.Project + Query.Compile) builds the whole expression first,
+// optimizes the plan, and compiles once; these wrappers remain so existing
+// callers keep working, and the resulting spanners are identical to
+// compiling the equivalent one-node query.
 package spanner
-
-import (
-	"fmt"
-	"strings"
-	"time"
-
-	"spanners/internal/eva"
-)
 
 // Union returns a spanner denoting ⟦s1⟧d ∪ ⟦s2⟧d over the union of the two
 // variable sets. A match contributed by one operand leaves the other
@@ -24,15 +18,14 @@ import (
 // determinization mode of the result (strict by default, regardless of the
 // operands' modes).
 //
-// The result's Pattern() is the descriptive form "union(p1, p2)", which is
-// not re-parseable by Compile.
+// The result's Pattern() is the canonical query syntax (for example
+// "union(/p1/, /p2/)"), which ParseQuery parses back into the same query.
+//
+// Deprecated: build a query instead — spanner.Pattern(p1).
+// Union(spanner.Pattern(p2)).Compile(opts...) — which also unions n ways
+// at once and optimizes the combined plan before compiling anything.
 func Union(s1, s2 *Spanner, opts ...Option) (*Spanner, error) {
-	start := time.Now()
-	e, err := eva.Union(s1.seq, s2.seq)
-	if err != nil {
-		return nil, err
-	}
-	return compileEVA(fmt.Sprintf("union(%s, %s)", s1.pattern, s2.pattern), e, start, opts)
+	return queryOf(s1).Union(queryOf(s2)).Compile(opts...)
 }
 
 // Project returns a spanner denoting π_vars(⟦s⟧d): each match of s
@@ -41,14 +34,12 @@ func Union(s1, s2 *Spanner, opts ...Option) (*Spanner, error) {
 // Vars() is exactly the given names (duplicates removed). Projecting onto
 // no variables yields a boolean spanner whose only possible match is the
 // empty mapping, present exactly when s has any match.
+//
+// Deprecated: build a query instead — queryable spanners compose without
+// intermediate compilation: spanner.Pattern(p).Project(vars...).
+// Compile(opts...).
 func Project(s *Spanner, vars []string, opts ...Option) (*Spanner, error) {
-	start := time.Now()
-	e, err := eva.Project(s.seq, vars...)
-	if err != nil {
-		return nil, err
-	}
-	pattern := fmt.Sprintf("project[%s](%s)", strings.Join(vars, ","), s.pattern)
-	return compileEVA(pattern, e, start, opts)
+	return queryOf(s).Project(vars...).Compile(opts...)
 }
 
 // Join returns a spanner denoting the natural join ⟦s1⟧d ⋈ ⟦s2⟧d: all
@@ -62,11 +53,9 @@ func Project(s *Spanner, vars []string, opts ...Option) (*Spanner, error) {
 // automata; incompatible marker behavior on shared variables is eliminated
 // by the sequentialization step of the compilation pipeline, so Stats().
 // Sequentialized is typically true for joins with shared variables.
+//
+// Deprecated: build a query instead — spanner.Pattern(p1).
+// Join(spanner.Pattern(p2)).Compile(opts...).
 func Join(s1, s2 *Spanner, opts ...Option) (*Spanner, error) {
-	start := time.Now()
-	e, err := eva.Join(s1.seq, s2.seq)
-	if err != nil {
-		return nil, err
-	}
-	return compileEVA(fmt.Sprintf("join(%s, %s)", s1.pattern, s2.pattern), e, start, opts)
+	return queryOf(s1).Join(queryOf(s2)).Compile(opts...)
 }

@@ -330,8 +330,9 @@ func TestAlgebraErrors(t *testing.T) {
 }
 
 // TestAlgebraStats sanity-checks the composed spanners' metadata: the
-// descriptive pattern, the variable union, and that a shared-variable join
-// reports the sequentialization the construction relies on.
+// canonical re-parseable pattern, the variable union, and that a
+// shared-variable join reports the sequentialization the construction
+// relies on.
 func TestAlgebraStats(t *testing.T) {
 	s1 := spanner.MustCompile(`!x{a}(a|b)*`)
 	s2 := spanner.MustCompile(`!x{a*}!y{b*}`)
@@ -339,8 +340,26 @@ func TestAlgebraStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, want := j.Pattern(), "join(!x{a}(a|b)*, !x{a*}!y{b*})"; got != want {
+	if got, want := j.Pattern(), "join(/!x{a}(a|b)*/, /!x{a*}!y{b*}/)"; got != want {
 		t.Fatalf("Pattern = %q, want %q", got, want)
+	}
+	// The canonical pattern round-trips through the query parser into an
+	// equivalent spanner.
+	back, err := spanner.ParseQuery(j.Pattern())
+	if err != nil {
+		t.Fatalf("Pattern() does not re-parse: %v", err)
+	}
+	jj, err := back.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jj.Pattern() != j.Pattern() {
+		t.Fatalf("round-tripped Pattern = %q, want %q", jj.Pattern(), j.Pattern())
+	}
+	for _, doc := range [][]byte{nil, []byte("a"), []byte("ab"), []byte("aabb")} {
+		if a, b := keys1Based(t, j, doc), keys1Based(t, jj, doc); !slices.Equal(a, b) {
+			t.Fatalf("round-tripped join diverges on %q: %v vs %v", doc, a, b)
+		}
 	}
 	if got := j.Vars(); !slices.Equal(got, []string{"x", "y"}) {
 		t.Fatalf("Vars = %v, want [x y]", got)

@@ -1,0 +1,200 @@
+// Context-aware evaluation: every phase of the paper's algorithms is a
+// left-to-right scan (preprocessing, counting) or a constant-delay
+// replay (enumeration), so cancellation points can be threaded through
+// without touching the per-byte hot loops — the passes run in bounded
+// chunks and check the context between chunks, and enumerations check
+// between bounded runs of matches. A cancelled call returns ctx.Err()
+// promptly: within O(ctxChunk) scan work or O(ctxCheckMatches) yields.
+//
+// These entry points cost one ctx.Err() load per 64 KiB of document (or per
+// 256 matches); the plain variants remain check-free for callers that do
+// not need cancellation.
+package spanner
+
+import (
+	"context"
+	"io"
+	"math/big"
+
+	"spanners/internal/core"
+)
+
+// ctxChunk is the scan granularity of the context-aware passes: the
+// preprocessing and counting loops run this many bytes between
+// cancellation checks.
+const ctxChunk = 64 << 10
+
+// ctxCheckMatches is how many matches the context-aware enumerations yield
+// between cancellation checks.
+const ctxCheckMatches = 256
+
+// EnumerateContext is Enumerate with cancellation: the preprocessing pass
+// checks ctx between 64 KiB chunks and the enumeration between bounded
+// runs of matches. It returns ctx.Err() if the context is cancelled before
+// the evaluation completes, nil otherwise (including on early stop via
+// yield).
+func (s *Spanner) EnumerateContext(ctx context.Context, doc []byte, yield func(*Match) bool) error {
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	res, err := s.evaluateContext(ctx, doc, &sc.eval)
+	if err != nil {
+		return err
+	}
+	return s.drainContext(ctx, res, yield)
+}
+
+// evaluateContext is the chunked, cancellable form of evaluate. The Result
+// borrows doc and, when sc is non-nil, the scratch's arena.
+func (s *Spanner) evaluateContext(ctx context.Context, doc []byte, sc *core.Scratch) (*core.Result, error) {
+	unlock := s.lockLazy()
+	var st *core.Stream
+	if s.lazy != nil {
+		st = core.NewStream(s.lazy, sc)
+	} else {
+		st = core.NewStream(s.dense, sc)
+	}
+	unlock()
+	for off := 0; off < len(doc); off += ctxChunk {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		unlock = s.lockLazy()
+		st.FeedBorrowed(doc[off:min(off+ctxChunk, len(doc))])
+		unlock()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	unlock = s.lockLazy()
+	defer unlock()
+	return st.CloseWith(doc), nil
+}
+
+// drainContext is drain with a cancellation check every ctxCheckMatches
+// yields.
+func (s *Spanner) drainContext(ctx context.Context, res *core.Result, yield func(*Match) bool) error {
+	it := &Iterator{
+		it: res.Iterator(),
+		m:  newMatch(res.Document(), s.vars, res.Registry()),
+	}
+	for n := 0; ; n++ {
+		if n%ctxCheckMatches == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		m, ok := it.Next()
+		if !ok {
+			return nil
+		}
+		if !yield(m) {
+			return nil
+		}
+	}
+}
+
+// PreprocessContext is Preprocess with cancellation: the pass checks ctx
+// between chunks, and a cancelled call returns (nil, ctx.Err()) with the
+// pooled scratch already returned. The engine's ProcessContext runs it on
+// the workers so that cancelling a batch also aborts in-flight documents.
+func (s *Spanner) PreprocessContext(ctx context.Context, doc []byte) (*Evaluation, error) {
+	sc := s.getScratch()
+	res, err := s.evaluateContext(ctx, doc, &sc.eval)
+	if err != nil {
+		s.putScratch(sc)
+		return nil, err
+	}
+	return &Evaluation{s: s, sc: sc, res: res}, nil
+}
+
+// countContext runs the chunked, cancellable counting pass over doc and
+// returns the closed stream.
+func (s *Spanner) countContext(ctx context.Context, doc []byte) (*core.CountStream, error) {
+	unlock := s.lockLazy()
+	var cs *core.CountStream
+	if s.lazy != nil {
+		cs = core.NewCountStream(s.lazy)
+	} else {
+		cs = core.NewCountStream(s.dense)
+	}
+	unlock()
+	for off := 0; off < len(doc); off += ctxChunk {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		unlock = s.lockLazy()
+		cs.Feed(doc[off:min(off+ctxChunk, len(doc))])
+		unlock()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return cs, nil
+}
+
+// CountContext is Count with cancellation; see Count for the exactness
+// contract (the streaming pass is in fact strictly stronger, like
+// CountReader: it stays exact through intermediate overflows).
+func (s *Spanner) CountContext(ctx context.Context, doc []byte) (count uint64, exact bool, err error) {
+	cs, err := s.countContext(ctx, doc)
+	if err != nil {
+		return 0, false, err
+	}
+	unlock := s.lockLazy()
+	defer unlock()
+	count, exact = cs.Count()
+	return count, exact, nil
+}
+
+// CountBigContext is CountBig with cancellation.
+func (s *Spanner) CountBigContext(ctx context.Context, doc []byte) (*big.Int, error) {
+	cs, err := s.countContext(ctx, doc)
+	if err != nil {
+		return nil, err
+	}
+	unlock := s.lockLazy()
+	defer unlock()
+	return cs.CountBig(), nil
+}
+
+// EnumerateReaderContext is EnumerateReader with cancellation: ctx is
+// checked before every Read, between evaluation chunks, and during the
+// enumeration. The returned error is ctx.Err() on cancellation or the
+// first read error from r.
+//
+// Cancellation is observed between Reads; a Read that is itself blocked is
+// not interrupted (plain io.Reader offers no way to). If r can stall
+// indefinitely — a network stream, a pipe — wrap it in a reader that
+// honors deadlines itself. The same caveat applies to the other
+// *ReaderContext entry points.
+func (s *Spanner) EnumerateReaderContext(ctx context.Context, r io.Reader, yield func(*Match) bool) error {
+	sc := s.getScratch()
+	defer s.putScratch(sc)
+	res, err := s.streamResultContext(ctx, r, sc)
+	if err != nil {
+		return err
+	}
+	return s.drainContext(ctx, res, yield)
+}
+
+// CountReaderContext is CountReader with cancellation.
+func (s *Spanner) CountReaderContext(ctx context.Context, r io.Reader) (count uint64, exact bool, err error) {
+	err = s.countStreamContext(ctx, r, func(cs *core.CountStream) {
+		count, exact = cs.Count()
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	return count, exact, nil
+}
+
+// CountBigReaderContext is CountBigReader with cancellation.
+func (s *Spanner) CountBigReaderContext(ctx context.Context, r io.Reader) (n *big.Int, err error) {
+	err = s.countStreamContext(ctx, r, func(cs *core.CountStream) {
+		n = cs.CountBig()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -12,6 +12,9 @@ package spanner_test
 //     would be too large.
 //   - FuzzStreamChunking: EnumerateReader over any chunking of a document
 //     is byte-identical to Enumerate over the concatenation.
+//   - FuzzQueryPlanEquivalence: for random query trees, the optimized and
+//     unoptimized plans produce identical mapping sets and counts, in both
+//     determinization modes.
 
 import (
 	"fmt"
@@ -170,6 +173,72 @@ func FuzzStrictLazyEquivalence(f *testing.F) {
 			t.Fatalf("stream chunking diverges\npattern %s doc %q", node, doc)
 		}
 	})
+}
+
+// FuzzQueryPlanEquivalence is the optimizer half of the differential
+// harness: for random query trees and documents, compiling with the
+// logical optimizer and compiling the plan exactly as written must produce
+// identical counts and mapping sets, in both determinization modes. The
+// deeper oracle-composition check runs in TestQueryPlanDifferentialRandom;
+// this target explores the tree/document space further.
+func FuzzQueryPlanEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint8(2), []byte("ab"))
+	f.Add(uint64(7), uint8(1), []byte(""))
+	f.Add(uint64(42), uint8(3), []byte("abba"))
+	f.Add(uint64(20260728), uint8(2), []byte("babab"))
+	f.Fuzz(func(t *testing.T, seed uint64, depth uint8, raw []byte) {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		qt := randomQueryTree(rng, int(depth%3)+1)
+		opt, err := qt.q.Compile()
+		if err != nil {
+			t.Skip() // e.g. dense compilation limits
+		}
+		unopt, err := qt.q.Compile(spanner.WithoutOptimization())
+		if err != nil {
+			t.Skip() // dedup can shrink past a limit the raw plan hits
+		}
+		lazyOpt, err := qt.q.Compile(spanner.WithLazy())
+		if err != nil {
+			t.Skip()
+		}
+		if len(raw) > 24 {
+			raw = raw[:24]
+		}
+		doc := make([]byte, len(raw))
+		for i, b := range raw {
+			doc[i] = 'a' + b%2
+		}
+
+		wantN, wantExact := unopt.Count(doc)
+		for _, s := range []*spanner.Spanner{opt, lazyOpt} {
+			if n, exact := s.Count(doc); n != wantN || exact != wantExact {
+				t.Fatalf("counts diverge on %s: optimized (%s mode) (%d, %v), unoptimized (%d, %v)\ndoc %q",
+					qt.q, s.Mode(), n, exact, wantN, wantExact, doc)
+			}
+		}
+		if !wantExact || wantN > 20000 {
+			return // counting checked; enumeration would be unreasonably large
+		}
+		want := sortedKeys(unopt, doc)
+		for _, s := range []*spanner.Spanner{opt, lazyOpt} {
+			if got := sortedKeys(s, doc); fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("enumerations diverge on %s (%s mode)\ndoc %q\ngot  %v\nwant %v",
+					qt.q, s.Mode(), doc, got, want)
+			}
+		}
+	})
+}
+
+// sortedKeys enumerates s on doc and returns the sorted match keys (the
+// plans number automaton states differently, so only the sets compare).
+func sortedKeys(s *spanner.Spanner, doc []byte) []string {
+	var out []string
+	s.Enumerate(doc, func(m *spanner.Match) bool {
+		out = append(out, m.Key())
+		return true
+	})
+	sort.Strings(out)
+	return out
 }
 
 // FuzzAlgebraOracle is the algebra half of the differential harness: for

@@ -1,0 +1,180 @@
+package spanner_test
+
+// The query-plan half of the differential harness: random query trees are
+// evaluated three ways — optimized plan, unoptimized plan (the tree exactly
+// as written), and an independent set-theoretic composition of brute-force
+// oracle results — and all three must agree, in both determinization
+// modes. The same generator feeds FuzzQueryPlanEquivalence.
+
+import (
+	"math/rand"
+	"testing"
+
+	"spanners/internal/gen"
+	"spanners/internal/model"
+	"spanners/spanner"
+)
+
+// qtree pairs a random query with the information the oracle composition
+// needs (the tree shape, leaf patterns and projection lists).
+type qtree struct {
+	q       *spanner.Query
+	kind    int // 0 leaf, 1 union, 2 join, 3 project
+	pattern string
+	keep    []string
+	subs    []*qtree
+}
+
+// varPools are the leaf variable pools; overlapping pools exercise shared
+// variables across union and join operands.
+var varPools = [][]string{{"x", "y"}, {"y", "z"}, {"x", "z"}}
+
+// randomQueryTree builds a random query of the given maximum combinator
+// depth over the "ab" alphabet.
+func randomQueryTree(rng *rand.Rand, depth int) *qtree {
+	if depth == 0 || rng.Intn(4) == 0 {
+		n := gen.RandomRGX(rng, 3, varPools[rng.Intn(len(varPools))], "ab")
+		return &qtree{kind: 0, pattern: n.String(), q: spanner.Pattern(n.String())}
+	}
+	switch rng.Intn(3) {
+	case 0: // union of 2–3 operands
+		k := 2 + rng.Intn(2)
+		subs := make([]*qtree, k)
+		rest := make([]*spanner.Query, k-1)
+		for i := range subs {
+			subs[i] = randomQueryTree(rng, depth-1)
+			if i > 0 {
+				rest[i-1] = subs[i].q
+			}
+		}
+		return &qtree{kind: 1, subs: subs, q: subs[0].q.Union(rest...)}
+	case 1: // binary join (keeps the oracle compositions small)
+		s1 := randomQueryTree(rng, depth-1)
+		s2 := randomQueryTree(rng, depth-1)
+		return &qtree{kind: 2, subs: []*qtree{s1, s2}, q: s1.q.Join(s2.q)}
+	default: // projection onto a random subset of the bound variables
+		sub := randomQueryTree(rng, depth-1)
+		vars, err := sub.q.Vars()
+		if err != nil {
+			return sub // unreachable for generated patterns; degrade gracefully
+		}
+		var keep []string
+		for _, v := range vars {
+			if rng.Intn(2) == 0 {
+				keep = append(keep, v)
+			}
+		}
+		return &qtree{kind: 3, subs: []*qtree{sub}, keep: keep, q: sub.q.Project(keep...)}
+	}
+}
+
+// registry returns the variable registry the subtree's oracle mappings are
+// expressed over.
+func (qt *qtree) registry(t *testing.T) *model.Registry {
+	t.Helper()
+	switch qt.kind {
+	case 0:
+		return spannerRegistry(t, qt.pattern)
+	case 3:
+		return model.NewRegistryOf(qt.keep...)
+	default:
+		reg := qt.subs[0].registry(t)
+		for _, s := range qt.subs[1:] {
+			merged, _, _, err := model.Merge(reg, s.registry(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg = merged
+		}
+		return reg
+	}
+}
+
+// oracle computes the subtree's match set by set-theoretic composition of
+// brute-force leaf results. cache memoizes leaf oracle runs per
+// (pattern, doc), which dominate the cost.
+func (qt *qtree) oracle(t *testing.T, doc []byte, cache map[string]*model.MappingSet) *model.MappingSet {
+	t.Helper()
+	switch qt.kind {
+	case 0:
+		key := qt.pattern + "\x00" + string(doc)
+		s, ok := cache[key]
+		if !ok {
+			s = oracleSet(t, qt.pattern, doc)
+			cache[key] = s
+		}
+		return s
+	case 1:
+		acc := qt.subs[0].oracle(t, doc, cache)
+		for _, sub := range qt.subs[1:] {
+			acc = model.UnionSets(acc, sub.oracle(t, doc, cache))
+		}
+		return acc
+	case 2:
+		acc := qt.subs[0].oracle(t, doc, cache)
+		accReg := qt.subs[0].registry(t)
+		for _, sub := range qt.subs[1:] {
+			joined, err := model.JoinSets(acc, sub.oracle(t, doc, cache), accReg, sub.registry(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc = joined
+			merged, _, _, err := model.Merge(accReg, sub.registry(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			accReg = merged
+		}
+		return acc
+	default:
+		s, err := model.ProjectSet(qt.subs[0].oracle(t, doc, cache), qt.keep, model.NewRegistryOf(qt.keep...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+}
+
+// TestQueryPlanDifferentialRandom is the satellite acceptance harness:
+// ≥500 random (query tree, document) cases, each proving the optimized
+// plan, the unoptimized plan and the oracle composition agree. Strict mode
+// is checked on every case; lazy mode on a regular subsample.
+func TestQueryPlanDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260728))
+	docs := [][]byte{nil, []byte("a"), []byte("ab"), []byte("bab")}
+	cache := make(map[string]*model.MappingSet)
+	cases := 0
+	for i := 0; i < 150; i++ {
+		qt := randomQueryTree(rng, 2)
+		opt, err := qt.q.Compile()
+		if err != nil {
+			t.Fatalf("compile %s: %v", qt.q, err)
+		}
+		unopt, err := qt.q.Compile(spanner.WithoutOptimization())
+		if err != nil {
+			t.Fatalf("compile unoptimized %s: %v", qt.q, err)
+		}
+		var lazyOpt, lazyUnopt *spanner.Spanner
+		if i%5 == 0 {
+			if lazyOpt, err = qt.q.Compile(spanner.WithLazy()); err != nil {
+				t.Fatal(err)
+			}
+			if lazyUnopt, err = qt.q.Compile(spanner.WithLazy(), spanner.WithoutOptimization()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, doc := range docs {
+			cases++
+			want := qt.oracle(t, doc, cache)
+			assertSet(t, "optimized "+qt.q.String(), opt, doc, want)
+			assertSet(t, "unoptimized "+qt.q.String(), unopt, doc, want)
+			if lazyOpt != nil {
+				assertSet(t, "lazy optimized "+qt.q.String(), lazyOpt, doc, want)
+				assertSet(t, "lazy unoptimized "+qt.q.String(), lazyUnopt, doc, want)
+			}
+		}
+	}
+	if cases < 500 {
+		t.Fatalf("only %d differential cases ran; the floor is 500", cases)
+	}
+}

@@ -63,6 +63,9 @@ type Option func(*config)
 
 type config struct {
 	mode Mode
+	// noOptimize disables the logical plan optimizer in Query.Compile;
+	// pattern compilation ignores it.
+	noOptimize bool
 }
 
 // WithStrict selects strict (ahead-of-time) determinization; the default.
@@ -73,6 +76,14 @@ func WithLazy() Option { return func(c *config) { c.mode = ModeLazy } }
 
 // WithMode selects the determinization mode explicitly.
 func WithMode(m Mode) Option { return func(c *config) { c.mode = m } }
+
+// WithoutOptimization disables the logical plan optimizer in Query.Compile:
+// the query tree is lowered exactly as written (nested unions stay chains
+// of binary sums, projections stay where they are, nothing is deduplicated
+// or reordered). Pattern compilation is unaffected. Intended for debugging
+// and for the differential tests that prove the optimizer semantics
+// preserving.
+func WithoutOptimization() Option { return func(c *config) { c.noOptimize = true } }
 
 // Stats describes the compiled pipeline: the sizes of the intermediate
 // automata and the cost of the chosen determinization strategy.
@@ -96,6 +107,11 @@ type Stats struct {
 	// zero in lazy mode.
 	DenseTableBytes int
 	CompileTime     time.Duration
+	// Plan holds the logical and optimized plan trees when the spanner was
+	// compiled from a Query (including through the deprecated algebra
+	// constructors); nil for plain pattern compiles. The pointer is shared
+	// across Stats calls; treat it as read-only.
+	Plan *Explain
 }
 
 // Spanner is a compiled document spanner. It is immutable from the caller's
@@ -108,6 +124,12 @@ type Spanner struct {
 	mode    Mode
 	vars    []string
 	stats   Stats
+
+	// query is the expression tree this spanner was compiled from, nil for
+	// plain pattern compiles. The deprecated algebra constructors use it to
+	// compose further without re-parsing, and Pattern() of a query-compiled
+	// spanner is query.String() — the canonical, re-parseable syntax.
+	query *Query
 
 	// seq is the trimmed sequential eVA the determinization strategies start
 	// from. It is retained (immutably) because the algebra constructors —
@@ -241,10 +263,14 @@ func PipelineNode(n rgx.Node) (*eva.EVA, error) {
 	return seq.Determinize(), nil
 }
 
-// Pattern returns the source pattern.
+// Pattern returns the source pattern: the regex formula for plain
+// compiles, or the canonical query syntax (see ParseQuery) for spanners
+// compiled from a Query — including through the deprecated algebra
+// constructors — so the result always parses back into an equivalent
+// spanner (Compile for formulas, ParseQuery + Query.Compile for queries).
 func (s *Spanner) Pattern() string { return s.pattern }
 
-// String returns the source pattern.
+// String returns the source pattern; see Pattern.
 func (s *Spanner) String() string { return s.pattern }
 
 // Vars returns the capture variable names in registry order. The slice is

@@ -8,6 +8,7 @@
 package spanner
 
 import (
+	"context"
 	"io"
 	"iter"
 	"math/big"
@@ -50,12 +51,17 @@ func (s *Spanner) lockLazy() (unlock func()) {
 
 // pump reads r in chunks through the scratch's read buffer and hands each
 // chunk to feed under the lazy lock. The chunk is only valid during the
-// feed call.
-func (s *Spanner) pump(r io.Reader, sc *evalScratch, feed func(chunk []byte)) error {
+// feed call. ctx is checked before every Read; cancellation surfaces as
+// ctx.Err() (the plain entry points pass context.Background(), whose Err
+// is a constant nil).
+func (s *Spanner) pump(ctx context.Context, r io.Reader, sc *evalScratch, feed func(chunk []byte)) error {
 	if sc.rbuf == nil {
 		sc.rbuf = make([]byte, readChunk)
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		n, err := r.Read(sc.rbuf)
 		if n > 0 {
 			unlock := s.lockLazy()
@@ -76,6 +82,12 @@ func (s *Spanner) pump(r io.Reader, sc *evalScratch, feed func(chunk []byte)) er
 // freshly allocated per call — never pooled — so Matches cloned by the
 // caller keep valid span text after the scratch is reused.
 func (s *Spanner) streamResult(r io.Reader, sc *evalScratch) (*core.Result, error) {
+	return s.streamResultContext(context.Background(), r, sc)
+}
+
+// streamResultContext is streamResult with a cancellation check before
+// every Read.
+func (s *Spanner) streamResultContext(ctx context.Context, r io.Reader, sc *evalScratch) (*core.Result, error) {
 	var st *core.Stream
 	unlock := s.lockLazy()
 	if s.lazy != nil {
@@ -84,7 +96,7 @@ func (s *Spanner) streamResult(r io.Reader, sc *evalScratch) (*core.Result, erro
 		st = core.NewStream(s.dense, &sc.eval)
 	}
 	unlock()
-	if err := s.pump(r, sc, st.Feed); err != nil {
+	if err := s.pump(ctx, r, sc, st.Feed); err != nil {
 		return nil, err
 	}
 	unlock = s.lockLazy()
@@ -138,6 +150,12 @@ func (s *Spanner) AllReader(r io.Reader) iter.Seq2[*Match, error] {
 // pooled scratch for the read buffer only. total runs under the lazy lock
 // (totaling reads the shared automaton's state table).
 func (s *Spanner) countStream(r io.Reader, total func(*core.CountStream)) error {
+	return s.countStreamContext(context.Background(), r, total)
+}
+
+// countStreamContext is countStream with a cancellation check before every
+// Read.
+func (s *Spanner) countStreamContext(ctx context.Context, r io.Reader, total func(*core.CountStream)) error {
 	var cs *core.CountStream
 	unlock := s.lockLazy()
 	if s.lazy != nil {
@@ -148,7 +166,7 @@ func (s *Spanner) countStream(r io.Reader, total func(*core.CountStream)) error 
 	unlock()
 	sc := s.getScratch()
 	defer s.putScratch(sc)
-	if err := s.pump(r, sc, cs.Feed); err != nil {
+	if err := s.pump(ctx, r, sc, cs.Feed); err != nil {
 		return err
 	}
 	unlock = s.lockLazy()
