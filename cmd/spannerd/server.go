@@ -1,0 +1,478 @@
+// The HTTP surface of spannerd: request decoding, the enumerate/count
+// handlers, and the monitoring endpoints. Everything here treats the
+// request body as hostile — malformed JSON, malformed queries, oversized
+// bodies and hostile nesting all map to 4xx responses, never to a crash of
+// the long-lived process — and every evaluation runs under a per-request
+// deadline threaded through the library's context-aware entry points.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"spanners/engine"
+	"spanners/spanner"
+	"spanners/spanner/cache"
+)
+
+// serverConfig collects the tunables main wires from flags; the zero value
+// is completed by newServer.
+type serverConfig struct {
+	cacheEntries int
+	cacheBytes   int64
+	defaultMode  spanner.Mode
+	maxTimeout   time.Duration // per-request ceiling and default
+	maxBody      int64         // request body bound, bytes
+	maxDocs      int           // documents per request
+	workers      int           // engine pool size; <1 = GOMAXPROCS
+}
+
+// server is one spannerd instance: a compiled-query cache plus the HTTP
+// handlers that evaluate against it. It is created by newServer and safe
+// for concurrent use.
+type server struct {
+	cfg   serverConfig
+	cache *cache.Cache
+	mux   *http.ServeMux
+
+	inflight atomic.Int64 // requests currently being served
+	served   atomic.Int64 // requests completed since start
+	started  time.Time
+}
+
+func newServer(cfg serverConfig) *server {
+	if cfg.maxTimeout <= 0 {
+		cfg.maxTimeout = 30 * time.Second
+	}
+	if cfg.maxBody <= 0 {
+		cfg.maxBody = 8 << 20
+	}
+	if cfg.maxDocs <= 0 {
+		cfg.maxDocs = 1024
+	}
+	s := &server{
+		cfg:     cfg,
+		cache:   cache.New(cache.Config{MaxEntries: cfg.cacheEntries, MaxBytes: cfg.cacheBytes}),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/enumerate", s.handleEnumerate)
+	s.mux.HandleFunc("POST /v1/count", s.handleCount)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	return s
+}
+
+// ServeHTTP tracks the in-flight gauge around the mux dispatch.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		s.served.Add(1)
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// request is the body of both POST endpoints.
+type request struct {
+	// Query is a query expression in the ParseQuery syntax; a plain regex
+	// formula is written as a /…/ literal.
+	Query string `json:"query"`
+	// Docs are the documents to evaluate, fanned out across the engine
+	// worker pool when there is more than one.
+	Docs []string `json:"docs"`
+	// Mode selects the determinization mode: "lazy", "strict", or "" for
+	// the server default.
+	Mode string `json:"mode,omitempty"`
+	// Limit caps the matches streamed per document (enumerate only;
+	// 0 = no cap).
+	Limit int `json:"limit,omitempty"`
+	// TimeoutMS bounds this request's evaluation; 0 or anything above the
+	// server ceiling means the ceiling.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// decodeRequest parses and validates a request body against the server
+// bounds. A non-nil error is a client error; the caller maps it to a 4xx.
+func (s *server) decodeRequest(w http.ResponseWriter, r *http.Request) (*request, error) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
+	dec.DisallowUnknownFields()
+	var req request
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decoding request body: %w", err)
+	}
+	if req.Query == "" {
+		return nil, errors.New(`request needs a "query"`)
+	}
+	if len(req.Docs) == 0 {
+		return nil, errors.New(`request needs at least one document in "docs"`)
+	}
+	if len(req.Docs) > s.cfg.maxDocs {
+		return nil, fmt.Errorf("request has %d documents; this server accepts at most %d", len(req.Docs), s.cfg.maxDocs)
+	}
+	if req.Limit < 0 {
+		return nil, errors.New(`"limit" must be non-negative`)
+	}
+	switch req.Mode {
+	case "", "lazy", "strict":
+	default:
+		return nil, fmt.Errorf(`unknown "mode" %q (want "lazy" or "strict")`, req.Mode)
+	}
+	return &req, nil
+}
+
+func (s *server) mode(req *request) spanner.Mode {
+	switch req.Mode {
+	case "lazy":
+		return spanner.ModeLazy
+	case "strict":
+		return spanner.ModeStrict
+	default:
+		return s.cfg.defaultMode
+	}
+}
+
+// deadline derives the request context: the client's timeout_ms, clamped
+// to the server ceiling (which also serves as the default).
+func (s *server) deadline(r *http.Request, req *request) (context.Context, context.CancelFunc) {
+	d := s.cfg.maxTimeout
+	if req.TimeoutMS > 0 {
+		if rd := time.Duration(req.TimeoutMS) * time.Millisecond; rd < d {
+			d = rd
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// compileCached resolves the request's spanner through the single-flight
+// cache, classifying failures: a context error means this request's
+// deadline (or the client hanging up) cut a join short, anything else is a
+// bad query.
+func (s *server) compileCached(ctx context.Context, w http.ResponseWriter, req *request) (*spanner.Spanner, bool) {
+	sp, err := s.cache.Get(ctx, req.Query, s.mode(req))
+	if err == nil {
+		return sp, true
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		writeError(w, http.StatusGatewayTimeout, fmt.Sprintf("query compilation wait: %v", err))
+	} else {
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+	return nil, false
+}
+
+// jsonSpan is one variable binding on the wire: 0-based half-open byte
+// offsets into the document, plus the covered text.
+type jsonSpan struct {
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	Text  string `json:"text"`
+}
+
+// matchRow is one NDJSON line of an enumerate response.
+type matchRow struct {
+	Doc   int                 `json:"doc"`
+	Spans map[string]jsonSpan `json:"spans"`
+}
+
+// trailer is the final NDJSON line of an enumerate response: the exact
+// accounting of what the response contains, including how far the batch
+// got when a deadline cut it short. DocsProcessed counts the documents
+// whose match delivery began — engine.ProcessContext emits a strict
+// input-order prefix, so those are exactly documents [0, DocsProcessed)
+// and DocsProcessed + DocsSkipped == Docs always. When Error is set the
+// last processed document may itself be incomplete (the deadline landed
+// mid-stream); everything before it is complete.
+type trailer struct {
+	Trailer       bool   `json:"trailer"`
+	Docs          int    `json:"docs"`
+	DocsProcessed int    `json:"docs_processed"`
+	DocsSkipped   int    `json:"docs_skipped"`
+	Matches       int64  `json:"matches"`
+	Truncated     bool   `json:"truncated,omitempty"` // some document hit the limit
+	Error         string `json:"error,omitempty"`     // deadline/cancellation, if any
+}
+
+// handleEnumerate streams every match of every document as NDJSON,
+// grouped by document in input order, and closes with a trailer line.
+// Single documents run sp.EnumerateContext directly; batches fan out
+// through engine.ProcessContext, preprocessing on the worker pool.
+func (s *server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
+	req, err := s.decodeRequest(w, r)
+	if err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	ctx, cancel := s.deadline(r, req)
+	defer cancel()
+	sp, ok := s.compileCached(ctx, w, req)
+	if !ok {
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	tr := trailer{Docs: len(req.Docs)}
+	var writeErr error
+	emitDoc := func(doc int, names []string, m *spanner.Match, emitted *int) bool {
+		if req.Limit > 0 && *emitted >= req.Limit {
+			// Only now is truncation a fact: a match beyond the limit
+			// exists. A document with exactly limit matches ends its
+			// enumeration naturally and is never flagged (the extra peek
+			// costs one constant-delay step, no extra output).
+			tr.Truncated = true
+			return false
+		}
+		row := matchRow{Doc: doc, Spans: make(map[string]jsonSpan, len(names))}
+		for _, b := range m.Bindings() {
+			row.Spans[b.Var] = jsonSpan{Start: b.Span.Start, End: b.Span.End, Text: b.Text}
+		}
+		if writeErr = enc.Encode(row); writeErr != nil {
+			return false
+		}
+		tr.Matches++
+		*emitted++
+		// The enumeration phase replays matches without touching the scan
+		// loops, so it checks the deadline itself every few hundred yields.
+		if tr.Matches%256 == 0 && ctx.Err() != nil {
+			return false
+		}
+		return true
+	}
+
+	names := sp.Vars()
+	if len(req.Docs) == 1 {
+		emitted := 0
+		err := sp.EnumerateContext(ctx, []byte(req.Docs[0]), func(m *spanner.Match) bool {
+			return emitDoc(0, names, m, &emitted)
+		})
+		if err != nil {
+			tr.Error = err.Error()
+		}
+		// Processed means delivery began (the batch path's emit-call
+		// semantics): a deadline can land after rows were already
+		// streamed, and those rows must stay inside the processed prefix.
+		if err == nil || tr.Matches > 0 {
+			tr.DocsProcessed = 1
+		}
+	} else {
+		docs := req.Docs
+		eng := engine.New(sp, engine.Workers(s.cfg.workers))
+		emitted, ctxErr := eng.ProcessContext(ctx, len(docs),
+			func(i engine.DocID) ([]byte, error) { return []byte(docs[i]), nil },
+			func(i engine.DocID, ev *spanner.Evaluation, _ error) bool {
+				n := 0
+				ev.Enumerate(func(m *spanner.Match) bool {
+					return emitDoc(int(i), names, m, &n)
+				})
+				if f, ok := w.(http.Flusher); ok {
+					f.Flush()
+				}
+				return writeErr == nil
+			})
+		tr.DocsProcessed = emitted
+		if ctxErr != nil {
+			tr.Error = ctxErr.Error()
+		}
+	}
+	if writeErr != nil {
+		return // the client is gone; no point writing a trailer
+	}
+	if tr.Error == "" {
+		if err := ctx.Err(); err != nil {
+			tr.Error = err.Error()
+		}
+	}
+	tr.Trailer = true
+	tr.DocsSkipped = tr.Docs - tr.DocsProcessed
+	_ = enc.Encode(tr)
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// countResult is one document's count in a count response. Count is a
+// decimal string: exact counts can exceed what JSON numbers (and uint64,
+// on overflow fallback) represent faithfully.
+type countResult struct {
+	Count string `json:"count"`
+	Exact bool   `json:"exact"`
+}
+
+// countResponse is the body of a successful count response.
+type countResponse struct {
+	Counts []countResult `json:"counts"`
+}
+
+// handleCount runs the Theorem 5.1 counting pass — no enumeration, no
+// match materialization — over every document, fanning batches across an
+// ordered worker pool. Counts are always exact: the uint64 pass falls back
+// to big-integer arithmetic when it overflows. Unlike enumerate (which
+// streams and therefore reports partial progress in its trailer), count
+// responds all-or-nothing: a deadline mid-batch is a 504.
+func (s *server) handleCount(w http.ResponseWriter, r *http.Request) {
+	req, err := s.decodeRequest(w, r)
+	if err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	ctx, cancel := s.deadline(r, req)
+	defer cancel()
+	sp, ok := s.compileCached(ctx, w, req)
+	if !ok {
+		return
+	}
+
+	resp := countResponse{Counts: make([]countResult, len(req.Docs))}
+	workers := s.cfg.workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var evalErr error
+	engine.Map(workers, len(req.Docs),
+		func(i int) error {
+			c, err := countDoc(ctx, sp, []byte(req.Docs[i]))
+			if err != nil {
+				return err
+			}
+			resp.Counts[i] = c
+			return nil
+		},
+		func(_ int, err error) bool {
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			return true
+		})
+	if evalErr != nil {
+		writeError(w, http.StatusGatewayTimeout, evalErr.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// countDoc counts one document under ctx, exactly: an inexact uint64
+// total (the low 64 bits after overflow) is resolved with the
+// big-integer pass.
+func countDoc(ctx context.Context, sp *spanner.Spanner, doc []byte) (countResult, error) {
+	n, exact, err := sp.CountContext(ctx, doc)
+	if err != nil {
+		return countResult{}, err
+	}
+	if exact {
+		return countResult{Count: fmt.Sprintf("%d", n), Exact: true}, nil
+	}
+	big, err := sp.CountBigContext(ctx, doc)
+	if err != nil {
+		return countResult{}, err
+	}
+	return countResult{Count: big.String(), Exact: true}, nil
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// handleVars renders the expvar-format monitoring snapshot: every var
+// published in the process (memstats, cmdline, …) plus the spannerd
+// gauges — cache counters, in-flight requests, and the per-query cache
+// entries with their lazy-mode determinization progress. It renders
+// per-instance state directly rather than expvar.Publish-ing globals, so
+// tests (and future multi-instance embeddings) can run many servers in
+// one process.
+func (s *server) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	var b strings.Builder
+	b.WriteString("{")
+	first := true
+	emit := func(key, val string) {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(&b, "%q: %s", key, val)
+	}
+	expvar.Do(func(kv expvar.KeyValue) { emit(kv.Key, kv.Value.String()) })
+
+	st := s.cache.Stats()
+	emit("spannerd_cache", mustJSON(map[string]any{
+		"hits":              st.Hits,
+		"misses":            st.Misses,
+		"evictions":         st.Evictions,
+		"errors":            st.Errors,
+		"entries":           st.Entries,
+		"bytes":             st.Bytes,
+		"inflight_compiles": st.InFlight,
+	}))
+	emit("spannerd_inflight_requests", fmt.Sprintf("%d", s.inflight.Load()))
+	emit("spannerd_requests_served", fmt.Sprintf("%d", s.served.Load()))
+	emit("spannerd_uptime_seconds", fmt.Sprintf("%.0f", time.Since(s.started).Seconds()))
+
+	type queryVar struct {
+		Query     string `json:"query"`
+		Mode      string `json:"mode"`
+		Hits      int64  `json:"hits"`
+		CostBytes int64  `json:"cost_bytes"`
+		DetStates int    `json:"det_states"`
+	}
+	entries := s.cache.Entries()
+	qs := make([]queryVar, len(entries))
+	for i, e := range entries {
+		qs[i] = queryVar{
+			Query:     e.Query,
+			Mode:      e.Mode.String(),
+			Hits:      e.Hits,
+			CostBytes: e.Cost,
+			DetStates: e.DetStates,
+		}
+	}
+	emit("spannerd_queries", mustJSON(qs))
+	b.WriteString("\n}\n")
+	io.WriteString(w, b.String())
+}
+
+func mustJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("%q", err.Error())
+	}
+	return string(b)
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+// writeRequestError maps a decode/validation failure to its status:
+// oversized bodies are 413, everything else — malformed JSON, malformed
+// queries, bound violations — is a plain 400.
+func writeRequestError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+		return
+	}
+	writeError(w, http.StatusBadRequest, err.Error())
+}

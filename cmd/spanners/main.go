@@ -327,7 +327,7 @@ func runBatch(ctx context.Context, sp *spanner.Spanner, files []string, stdin io
 		return runBatchCount(ctx, sp, files, stdin, jobs, r)
 	}
 	eng := engine.New(sp, engine.Workers(jobs))
-	ctxErr := eng.ProcessContext(ctx, len(files),
+	_, ctxErr := eng.ProcessContext(ctx, len(files),
 		batchLoader(files, stdin),
 		func(i engine.DocID, ev *spanner.Evaluation, e error) bool {
 			if e != nil {

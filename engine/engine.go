@@ -129,7 +129,7 @@ func (e *Engine) Run(docs [][]byte) iter.Seq2[DocID, *Match] {
 // 2×workers documents are resident at a time — loaded bytes and
 // preprocessing arenas both — whatever the batch size.
 func (e *Engine) Process(n int, load func(DocID) ([]byte, error), emit func(DocID, *spanner.Evaluation, error) bool) {
-	e.ProcessContext(context.Background(), n, load, emit)
+	_, _ = e.ProcessContext(context.Background(), n, load, emit)
 }
 
 // ProcessContext is Process with cancellation. When ctx is cancelled the
@@ -140,9 +140,17 @@ func (e *Engine) Process(n int, load func(DocID) ([]byte, error), emit func(DocI
 // ctx.Err() when the batch was cut short by the context, nil when every
 // document was emitted or emit stopped the batch itself. No goroutines are
 // leaked either way.
-func (e *Engine) ProcessContext(ctx context.Context, n int, load func(DocID) ([]byte, error), emit func(DocID, *spanner.Evaluation, error) bool) error {
+//
+// emitted is the exact number of emit calls that ran: because the consumer
+// delivers strictly in input order, the documents emitted are precisely
+// DocIDs [0, emitted) and the documents skipped by a cancellation are
+// precisely [emitted, n) — so a caller reporting a partial result (e.g. a
+// server's partial-response trailer) can state "processed emitted of n"
+// without instrumenting its emit callback. emitted == n exactly when err
+// is nil and emit never stopped the batch.
+func (e *Engine) ProcessContext(ctx context.Context, n int, load func(DocID) ([]byte, error), emit func(DocID, *spanner.Evaluation, error) bool) (emitted int, err error) {
 	if n == 0 {
-		return nil
+		return 0, nil
 	}
 	workers := e.poolSize(n)
 
@@ -243,7 +251,18 @@ func (e *Engine) ProcessContext(ctx context.Context, n int, load func(DocID) ([]
 		select {
 		case res = <-results[i]:
 		case <-ctx.Done():
-			return ctx.Err()
+			// A worker may have delivered results[i] in the same instant
+			// the cancellation won the select; drain it non-blockingly so
+			// its pooled scratch and inflight ticket are not dropped.
+			select {
+			case res = <-results[i]:
+				if res.ev != nil {
+					res.ev.Release()
+					<-inflight
+				}
+			default:
+			}
+			return i, ctx.Err()
 		}
 		if err := ctx.Err(); err != nil {
 			// The select may race a delivered result against the
@@ -253,7 +272,7 @@ func (e *Engine) ProcessContext(ctx context.Context, n int, load func(DocID) ([]
 				res.ev.Release()
 				<-inflight
 			}
-			return err
+			return i, err
 		}
 		ok := emit(DocID(i), res.ev, res.err)
 		if res.ev != nil {
@@ -261,12 +280,12 @@ func (e *Engine) ProcessContext(ctx context.Context, n int, load func(DocID) ([]
 			<-inflight
 		}
 		if !ok {
-			return nil
+			return i + 1, nil
 		}
 	}
 	// Every document was emitted: the batch completed, whatever the
 	// context did in the meantime.
-	return nil
+	return n, nil
 }
 
 // Map runs fn over the indexes [0, n) on a pool of workers and hands each

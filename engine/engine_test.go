@@ -468,7 +468,7 @@ func TestProcessContextBackgroundMatchesProcess(t *testing.T) {
 			})
 			return true
 		})
-	err := eng.ProcessContext(context.Background(), len(docs),
+	emitted, err := eng.ProcessContext(context.Background(), len(docs),
 		func(i engine.DocID) ([]byte, error) { return docs[i], nil },
 		func(i engine.DocID, ev *spanner.Evaluation, err error) bool {
 			ev.Enumerate(func(m *engine.Match) bool {
@@ -479,6 +479,9 @@ func TestProcessContextBackgroundMatchesProcess(t *testing.T) {
 		})
 	if err != nil {
 		t.Fatalf("ProcessContext(Background) = %v, want nil", err)
+	}
+	if emitted != len(docs) {
+		t.Fatalf("emitted = %d, want the full batch of %d", emitted, len(docs))
 	}
 	if fmt.Sprint(viaProcess) != fmt.Sprint(viaCtx) {
 		t.Fatal("ProcessContext(Background) deliveries differ from Process")
@@ -500,7 +503,7 @@ func TestProcessContextCancellationLeakFree(t *testing.T) {
 
 	var loads atomic.Int64
 	emits := 0
-	err := eng.ProcessContext(ctx, n,
+	emitted, err := eng.ProcessContext(ctx, n,
 		func(i engine.DocID) ([]byte, error) {
 			loads.Add(1)
 			return gen.Contacts(20, int64(i)), nil
@@ -517,6 +520,9 @@ func TestProcessContextCancellationLeakFree(t *testing.T) {
 	}
 	if emits != 3 {
 		t.Fatalf("emit ran %d times; the consumer must never emit after observing the cancellation", emits)
+	}
+	if emitted != emits {
+		t.Fatalf("ProcessContext reported %d emitted but emit ran %d times", emitted, emits)
 	}
 	settleGoroutines(t, base)
 	// Workers skip queued documents once cancelled: with a 4-worker pool
@@ -541,7 +547,7 @@ func TestProcessContextCancelWhileConsumerBlocked(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		done <- eng.ProcessContext(ctx, 4,
+		_, err := eng.ProcessContext(ctx, 4,
 			func(i engine.DocID) ([]byte, error) {
 				if i == 0 {
 					<-release // blocks until after the cancellation
@@ -552,6 +558,7 @@ func TestProcessContextCancelWhileConsumerBlocked(t *testing.T) {
 				t.Error("emit must not run: document 0 never became ready before cancellation")
 				return false
 			})
+		done <- err
 	}()
 	time.Sleep(10 * time.Millisecond) // let the pool block on document 0
 	cancel()
@@ -581,9 +588,10 @@ func TestProcessContextCancelsInflightPreprocess(t *testing.T) {
 	started := make(chan struct{})
 	done := make(chan error, 1)
 	go func() {
-		done <- eng.ProcessContext(ctx, 1,
+		_, err := eng.ProcessContext(ctx, 1,
 			func(engine.DocID) ([]byte, error) { close(started); return doc, nil },
 			func(engine.DocID, *spanner.Evaluation, error) bool { return true })
+		done <- err
 	}()
 	<-started
 	cancel()
@@ -608,7 +616,7 @@ func TestProcessContextCompletedBatchReturnsNil(t *testing.T) {
 	defer cancel()
 	const n = 4
 	emits := 0
-	err := eng.ProcessContext(ctx, n,
+	emitted, err := eng.ProcessContext(ctx, n,
 		func(engine.DocID) ([]byte, error) { return []byte("aa"), nil },
 		func(i engine.DocID, ev *spanner.Evaluation, e error) bool {
 			emits++
@@ -617,7 +625,97 @@ func TestProcessContextCompletedBatchReturnsNil(t *testing.T) {
 			}
 			return true
 		})
-	if err != nil || emits != n {
-		t.Fatalf("completed batch: err = %v, emits = %d; want nil, %d", err, emits, n)
+	if err != nil || emits != n || emitted != n {
+		t.Fatalf("completed batch: err = %v, emits = %d, emitted = %d; want nil, %d, %d", err, emits, emitted, n, n)
+	}
+}
+
+// TestProcessContextEmittedAccounting pins the partial-batch accounting
+// contract a server's partial-response trailer depends on: whenever and
+// however cancellation lands, the emitted count ProcessContext returns
+// equals the number of emit calls that actually ran, those calls covered
+// exactly the DocID prefix [0, emitted), and the skipped remainder is
+// therefore exactly [emitted, n) — never an over- or under-count.
+func TestProcessContextEmittedAccounting(t *testing.T) {
+	forceProcs(t, 4)
+	s := spanner.MustCompile(gen.Figure1Pattern())
+	eng := engine.New(s, engine.Workers(4))
+	const n = 48
+
+	check := func(t *testing.T, emitted int, err error, seen []int, stopped bool) {
+		t.Helper()
+		if emitted != len(seen) {
+			t.Fatalf("reported emitted = %d, but emit ran %d times", emitted, len(seen))
+		}
+		for i, id := range seen {
+			if id != i {
+				t.Fatalf("emit order broken: call %d delivered DocID %d (deliveries: %v)", i, id, seen)
+			}
+		}
+		switch {
+		case err != nil:
+			if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v, want a context error", err)
+			}
+			if emitted == n && stopped {
+				t.Fatalf("full batch emitted yet err = %v", err)
+			}
+		case !stopped:
+			if emitted != n {
+				t.Fatalf("nil error without an emit stop, but emitted = %d of %d", emitted, n)
+			}
+		}
+	}
+
+	// Cancellation from inside emit, at every possible prefix length.
+	for at := 1; at <= 6; at++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var seen []int
+		emitted, err := eng.ProcessContext(ctx, n,
+			func(i engine.DocID) ([]byte, error) { return gen.Contacts(5, int64(i)), nil },
+			func(i engine.DocID, ev *spanner.Evaluation, e error) bool {
+				seen = append(seen, int(i))
+				if len(seen) == at {
+					cancel()
+				}
+				return true
+			})
+		cancel()
+		check(t, emitted, err, seen, false)
+		if emitted != at {
+			t.Fatalf("cancel at emit %d: emitted = %d", at, emitted)
+		}
+	}
+
+	// External cancellation racing the consumer: repeat with deadlines that
+	// land at arbitrary points of the batch (including mid-preprocessing
+	// and between delivery and the consumer's cancellation check).
+	for trial := 0; trial < 25; trial++ {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Duration(trial)*200*time.Microsecond)
+		var seen []int
+		emitted, err := eng.ProcessContext(ctx, n,
+			func(i engine.DocID) ([]byte, error) { return gen.Contacts(40, int64(i)), nil },
+			func(i engine.DocID, ev *spanner.Evaluation, e error) bool {
+				seen = append(seen, int(i))
+				return true
+			})
+		cancel()
+		check(t, emitted, err, seen, false)
+	}
+
+	// emit stopping the batch itself: emitted counts the stopping call too,
+	// and the error stays nil.
+	{
+		var seen []int
+		emitted, err := eng.ProcessContext(context.Background(), n,
+			func(i engine.DocID) ([]byte, error) { return gen.Contacts(5, int64(i)), nil },
+			func(i engine.DocID, ev *spanner.Evaluation, e error) bool {
+				seen = append(seen, int(i))
+				return len(seen) < 7
+			})
+		check(t, emitted, err, seen, true)
+		if emitted != 7 || err != nil {
+			t.Fatalf("emit-stop batch: emitted = %d, err = %v; want 7, nil", emitted, err)
+		}
 	}
 }

@@ -1,6 +1,8 @@
 package eva
 
 import (
+	"sync/atomic"
+
 	"spanners/internal/model"
 )
 
@@ -16,11 +18,18 @@ import (
 // Lazy implements the same automaton interface as a deterministic *EVA
 // (Initial, Step, Captures, Accepting, Registry). It memoizes transitions,
 // so repeated evaluations share work. It is not safe for concurrent use;
-// wrap it per goroutine or materialize with Determinize for sharing.
+// wrap it per goroutine or materialize with Determinize for sharing. The
+// sole exception is StatesDiscovered, which reads an atomic counter and may
+// be called at any time from any goroutine — monitoring surfaces poll it
+// without serializing against in-flight evaluations.
 type Lazy struct {
 	src   *EVA
 	index map[string]int
 	sts   []*lazyState
+
+	// discovered mirrors len(sts) behind an atomic so StatesDiscovered
+	// never has to touch the memo tables that evaluations mutate.
+	discovered atomic.Int64
 }
 
 type lazyState struct {
@@ -61,6 +70,7 @@ func (l *Lazy) intern(set []int) int {
 	l.sts = append(l.sts, st)
 	id := len(l.sts) - 1
 	l.index[key] = id
+	l.discovered.Store(int64(len(l.sts)))
 	return id
 }
 
@@ -125,5 +135,8 @@ func (l *Lazy) Captures(q int) []model.Capture {
 
 // StatesDiscovered returns how many subset states have been minted so far —
 // the measure that makes the lazy-vs-strict trade-off visible in the
-// experiments.
-func (l *Lazy) StatesDiscovered() int { return len(l.sts) }
+// experiments. Unlike every other method it is safe to call concurrently
+// with evaluations: the count is kept in an atomic mirror, so stats
+// endpoints can poll it without blocking (or being blocked by) the
+// evaluation lock.
+func (l *Lazy) StatesDiscovered() int { return int(l.discovered.Load()) }

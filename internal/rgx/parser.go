@@ -46,10 +46,33 @@ func MustParse(input string) Node {
 	return n
 }
 
+// maxNesting bounds how deeply a formula may nest (groups, captures, and
+// postfix-operator chains all count). Parsing is recursive and every later
+// pipeline stage (Thompson build, semantics, printing) recurses over the
+// AST, so without a bound a hostile pattern like strings.Repeat("(", 1e6)
+// — or "a" followed by a million '?' — would overflow the goroutine stack,
+// which is an unrecoverable crash for a process serving untrusted queries.
+// 1000 levels is far beyond any legitimate formula while keeping the
+// worst-case recursion depth trivially stack-safe.
+const maxNesting = 1000
+
 type parser struct {
-	src string
-	pos int
+	src   string
+	pos   int
+	depth int
 }
+
+// enter charges one nesting level, failing once the formula nests deeper
+// than maxNesting; leave returns it.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxNesting {
+		return p.errorf("pattern nests deeper than %d levels", maxNesting)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) eof() bool { return p.pos >= len(p.src) }
 
@@ -60,6 +83,10 @@ func (p *parser) errorf(format string, args ...any) error {
 }
 
 func (p *parser) parseAlt() (Node, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	first, err := p.parseConcat()
 	if err != nil {
 		return nil, err
@@ -110,7 +137,17 @@ func (p *parser) parseRepeat() (Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Each postfix operator wraps the atom one AST level deeper without any
+	// parser recursion, so a chain like "a????…" deepens the tree just as
+	// surely as nested groups; charge the chain against the same budget.
+	chain := 0
 	for !p.eof() {
+		if c := p.peek(); c == '*' || c == '+' || c == '?' {
+			chain++
+			if p.depth+chain > maxNesting {
+				return nil, p.errorf("pattern nests deeper than %d levels", maxNesting)
+			}
+		}
 		switch p.peek() {
 		case '*':
 			p.pos++

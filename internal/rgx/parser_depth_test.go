@@ -1,0 +1,39 @@
+package rgx
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseNestingBounded pins that hostile nesting is rejected with an
+// error instead of recursing until the goroutine stack overflows (which
+// would kill a whole process serving untrusted patterns).
+func TestParseNestingBounded(t *testing.T) {
+	cases := map[string]string{
+		"groups":        strings.Repeat("(", 100000) + "a" + strings.Repeat(")", 100000),
+		"captures":      strings.Repeat("!x{", 100000) + "a" + strings.Repeat("}", 100000),
+		"postfix chain": "a" + strings.Repeat("?", 200000),
+		"star chain":    "a" + strings.Repeat("*", 200000),
+		"plus chain":    "a" + strings.Repeat("+", 200000),
+		"mixed":         strings.Repeat("(a?", 50000) + strings.Repeat(")", 50000),
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: Parse accepted a %d-byte hostile nesting", name, len(src))
+		} else if !strings.Contains(err.Error(), "nests deeper") {
+			t.Errorf("%s: err = %v, want a nesting-depth error", name, err)
+		}
+	}
+}
+
+// TestParseNestingHeadroom pins that the bound leaves generous headroom
+// for real formulas: hundreds of nested groups still parse.
+func TestParseNestingHeadroom(t *testing.T) {
+	src := strings.Repeat("(", 500) + "a" + strings.Repeat(")", 500)
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("500-deep group nesting must parse, got %v", err)
+	}
+	if _, err := Parse("a" + strings.Repeat("?", 500)); err != nil {
+		t.Fatalf("500-long postfix chain must parse, got %v", err)
+	}
+}

@@ -1,0 +1,53 @@
+package cache_test
+
+import (
+	"context"
+	"testing"
+
+	"spanners/internal/gen"
+	"spanners/spanner"
+	"spanners/spanner/cache"
+)
+
+// benchQuery is a realistic serving query: a union with a projection, the
+// kind of plan a client would POST to spannerd.
+func benchQuery() string {
+	return `project[name](union(/` + gen.Figure1Pattern() + `/, /.*!name{[A-Z][a-z]+}:.*/))`
+}
+
+// BenchmarkCacheHitPath measures Get on a warm cache — the steady-state
+// cost every served request pays for compiled-query reuse (one parse for
+// canonicalization plus an LRU touch).
+func BenchmarkCacheHitPath(b *testing.B) {
+	c := cache.New(cache.Config{})
+	src := benchQuery()
+	if _, err := c.Get(context.Background(), src, spanner.ModeStrict); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Get(context.Background(), src, spanner.ModeStrict); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		b.Fatalf("hit-path benchmark compiled %d times", st.Misses)
+	}
+}
+
+// BenchmarkCacheColdCompile measures the miss path — parse, plan, optimize,
+// lower, determinize — that the cache amortizes away; the ratio to
+// CacheHitPath is the cache's value per request.
+func BenchmarkCacheColdCompile(b *testing.B) {
+	c := cache.New(cache.Config{})
+	src := benchQuery()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Purge()
+		if _, err := c.Get(context.Background(), src, spanner.ModeStrict); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package spanner_test
+
+import (
+	"strings"
+	"testing"
+
+	"spanners/spanner"
+)
+
+// hostileQueries are malformed or adversarial query sources that a server
+// must turn into errors — never panics, never unbounded recursion. Each is
+// pushed through ParseQuery and, when it parses, through Compile (the path
+// an HTTP daemon runs for every request body).
+func hostileQueries() map[string]string {
+	deepUnion := strings.Repeat("union(/a/, ", 100000) + "/b/" + strings.Repeat(")", 100000)
+	deepProject := strings.Repeat("project[](", 100000) + "/a/" + strings.Repeat(")", 100000)
+	manyVars := make([]string, 0, 70)
+	for c1 := 'a'; c1 <= 'z' && len(manyVars) < 70; c1++ {
+		for c2 := 'a'; c2 <= 'z' && len(manyVars) < 70; c2++ {
+			manyVars = append(manyVars, "!"+string(c1)+string(c2)+"{x}")
+		}
+	}
+	return map[string]string{
+		"empty":                 "",
+		"spaces only":           "   \t\n",
+		"bare word":             "frobnicate(/a/)",
+		"unclosed literal":      "/abc",
+		"trailing backslash":    `/abc\`,
+		"unclosed union":        "union(/a/, /b/",
+		"empty union":           "union()",
+		"garbage after expr":    "/a/ /b/",
+		"project no parens":     "project[x]/a/",
+		"project unbound":       "project[nope](/!x{a}/)",
+		"project bad name":      "project[x y](/!x{a}/)",
+		"nul bytes":             "union(/a\x00b/, \x00)",
+		"deep union nesting":    deepUnion,
+		"deep project nesting":  deepProject,
+		"deep pattern nesting":  "/" + strings.Repeat("(", 100000) + "a" + strings.Repeat(")", 100000) + "/",
+		"deep postfix chain":    "/a" + strings.Repeat("?", 200000) + "/",
+		"too many variables":    "/" + strings.Join(manyVars, "") + "/",
+		"bad pattern inleaf":    "/ab(/",
+		"repeat nothing":        "/*a/",
+		"comma without operand": "union(/a/,)",
+	}
+}
+
+// TestHostileQueriesReturnErrors pins the daemon-facing contract: every
+// hostile query surfaces as an error from ParseQuery or Compile. A panic or
+// stack overflow here would crash a long-lived extraction service.
+func TestHostileQueriesReturnErrors(t *testing.T) {
+	for name, src := range hostileQueries() {
+		t.Run(name, func(t *testing.T) {
+			q, err := spanner.ParseQuery(src)
+			if err != nil {
+				return // rejected at parse time: exactly what a server needs
+			}
+			if _, err := q.Compile(spanner.WithLazy()); err == nil {
+				t.Fatalf("hostile query %q parsed and compiled without error", truncate(src, 60))
+			}
+		})
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}
+
+// FuzzParseQueryNoPanic feeds arbitrary bytes through the full
+// untrusted-input path of the extraction service: ParseQuery, and when the
+// source parses, the canonical round-trip plus a lazy-mode Compile. The
+// target asserts no panic and that canonicalization is a fixpoint; it is
+// wired into the CI fuzz smoke alongside the differential targets.
+func FuzzParseQueryNoPanic(f *testing.F) {
+	f.Add("/a/")
+	f.Add("union(/!x{a+}/, project[x](/!x{ab}/))")
+	f.Add("join(/a/, /b/)")
+	f.Add("project[](/a/)")
+	f.Add(strings.Repeat("union(", 600) + "/a/" + strings.Repeat(")", 600))
+	f.Add(`/a\/b\\c/`)
+	f.Add("project[x,y, x](/!x{a}!y{b}/)")
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := spanner.ParseQuery(src)
+		if err != nil {
+			return
+		}
+		canon := q.String()
+		q2, err := spanner.ParseQuery(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", truncate(canon, 80), truncate(src, 80), err)
+		}
+		if again := q2.String(); again != canon {
+			t.Fatalf("canonicalization is not a fixpoint: %q then %q", truncate(canon, 80), truncate(again, 80))
+		}
+		if len(src) > 128 {
+			return // compile only small plans; the parse above is the hot attack surface
+		}
+		// Lazy mode defers determinization, so hostile-but-valid patterns
+		// cannot blow up compile time the way a strict subset construction
+		// could; this is also the mode the daemon compiles with by default.
+		if _, err := q.Compile(spanner.WithLazy()); err != nil {
+			// Compile errors (unbound projections, variable limits, …) are
+			// fine; only panics and hangs are failures.
+			return
+		}
+	})
+}

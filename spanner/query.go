@@ -280,9 +280,18 @@ func MustParseQuery(src string) *Query {
 	return q
 }
 
+// maxQueryNesting bounds how deeply a query expression may nest. The
+// parser, the planner, the optimizer passes and the lowerer all recurse
+// over the tree, so an unbounded union(union(union(… from an untrusted
+// source would overflow the stack — an unrecoverable crash for a server —
+// long before any automaton is built. 500 levels is far beyond any real
+// query while keeping every downstream recursion stack-safe.
+const maxQueryNesting = 500
+
 type queryParser struct {
-	src string
-	pos int
+	src   string
+	pos   int
+	depth int
 }
 
 func (p *queryParser) errorf(format string, args ...any) error {
@@ -311,6 +320,11 @@ func (p *queryParser) expect(c byte) error {
 }
 
 func (p *queryParser) parseExpr() (*Query, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxQueryNesting {
+		return nil, p.errorf("query nests deeper than %d levels", maxQueryNesting)
+	}
 	p.skipSpace()
 	if p.pos >= len(p.src) {
 		return nil, p.errorf("unexpected end of query")

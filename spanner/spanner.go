@@ -72,6 +72,16 @@ type config struct {
 func WithStrict() Option { return func(c *config) { c.mode = ModeStrict } }
 
 // WithLazy selects lazy (on-the-fly) determinization.
+//
+// Concurrency contract: a lazy Spanner remains safe for concurrent use,
+// but its on-the-fly determinizer mutates shared memo tables, so all
+// evaluation scan phases (preprocessing, counting) serialize on an
+// internal lock — only the constant-delay enumeration of the results runs
+// in parallel. Stats is the one read that never touches the lock: the
+// discovered-state counter is atomic, so it may be polled during
+// evaluations. Under contention-heavy serving workloads prefer the default
+// strict mode unless the automaton's subset space makes strict
+// determinization prohibitive.
 func WithLazy() Option { return func(c *config) { c.mode = ModeLazy } }
 
 // WithMode selects the determinization mode explicitly.
@@ -282,13 +292,13 @@ func (s *Spanner) Mode() Mode { return s.mode }
 
 // Stats returns the pipeline statistics. In lazy mode DetStates reflects
 // the subset states discovered so far, so it grows as documents are
-// evaluated.
+// evaluated; the counter is read atomically, so Stats neither blocks nor
+// is blocked by concurrent evaluations — monitoring surfaces (the CLI's
+// -stats, spannerd's /debug/vars) may poll it freely.
 func (s *Spanner) Stats() Stats {
 	st := s.stats
 	if s.lazy != nil {
-		s.mu.Lock()
 		st.DetStates = s.lazy.StatesDiscovered()
-		s.mu.Unlock()
 	}
 	return st
 }
