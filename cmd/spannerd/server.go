@@ -420,23 +420,40 @@ func (s *server) handleVars(w http.ResponseWriter, r *http.Request) {
 	emit("spannerd_uptime_seconds", fmt.Sprintf("%.0f", time.Since(s.started).Seconds()))
 
 	type queryVar struct {
-		Query     string `json:"query"`
-		Mode      string `json:"mode"`
-		Hits      int64  `json:"hits"`
-		CostBytes int64  `json:"cost_bytes"`
-		DetStates int    `json:"det_states"`
+		Query                 string `json:"query"`
+		Mode                  string `json:"mode"`
+		Hits                  int64  `json:"hits"`
+		CostBytes             int64  `json:"cost_bytes"`
+		DetStates             int    `json:"det_states"`
+		Prefilter             bool   `json:"prefilter"`
+		PrefilterSkippedBytes int64  `json:"prefilter_skipped_bytes"`
+		PrefilterFallbacks    int64  `json:"prefilter_fallbacks"`
 	}
 	entries := s.cache.Entries()
 	qs := make([]queryVar, len(entries))
+	var pfQueries, pfSkipped, pfFallbacks int64
 	for i, e := range entries {
 		qs[i] = queryVar{
-			Query:     e.Query,
-			Mode:      e.Mode.String(),
-			Hits:      e.Hits,
-			CostBytes: e.Cost,
-			DetStates: e.DetStates,
+			Query:                 e.Query,
+			Mode:                  e.Mode.String(),
+			Hits:                  e.Hits,
+			CostBytes:             e.Cost,
+			DetStates:             e.DetStates,
+			Prefilter:             e.PrefilterEnabled,
+			PrefilterSkippedBytes: e.PrefilterSkippedBytes,
+			PrefilterFallbacks:    e.PrefilterFallbacks,
 		}
+		if e.PrefilterEnabled {
+			pfQueries++
+		}
+		pfSkipped += e.PrefilterSkippedBytes
+		pfFallbacks += e.PrefilterFallbacks
 	}
+	emit("spannerd_prefilter", mustJSON(map[string]int64{
+		"queries":       pfQueries,
+		"skipped_bytes": pfSkipped,
+		"fallbacks":     pfFallbacks,
+	}))
 	emit("spannerd_queries", mustJSON(qs))
 	b.WriteString("\n}\n")
 	io.WriteString(w, b.String())

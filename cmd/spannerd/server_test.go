@@ -429,6 +429,8 @@ func TestCacheReuseAndVars(t *testing.T) {
 		Query     string `json:"query"`
 		Mode      string `json:"mode"`
 		DetStates int    `json:"det_states"`
+		Prefilter bool   `json:"prefilter"`
+		Skipped   int64  `json:"prefilter_skipped_bytes"`
 	}
 	if err := json.Unmarshal(vars["spannerd_queries"], &queries); err != nil {
 		t.Fatal(err)
@@ -438,6 +440,20 @@ func TestCacheReuseAndVars(t *testing.T) {
 	}
 	if queries[0].DetStates == 0 {
 		t.Fatal("lazy determinization progress not visible in /debug/vars")
+	}
+	if !queries[0].Prefilter || queries[0].Skipped == 0 {
+		t.Fatalf("spannerd_queries = %+v: prefilter activity not visible in /debug/vars", queries)
+	}
+	var pf struct {
+		Queries      int64 `json:"queries"`
+		SkippedBytes int64 `json:"skipped_bytes"`
+		Fallbacks    int64 `json:"fallbacks"`
+	}
+	if err := json.Unmarshal(vars["spannerd_prefilter"], &pf); err != nil {
+		t.Fatal(err)
+	}
+	if pf.Queries != 1 || pf.SkippedBytes != queries[0].Skipped {
+		t.Fatalf("spannerd_prefilter = %+v, per-query skipped %d", pf, queries[0].Skipped)
 	}
 	if _, ok := vars["spannerd_inflight_requests"]; !ok {
 		t.Fatal("spannerd_inflight_requests missing")

@@ -493,7 +493,18 @@ func printStats(w io.Writer, sp *spanner.Spanner) {
 	}
 	fmt.Fprintf(w, "eVA:            %d states, %d transitions\n", st.EVAStates, st.EVATransitions)
 	if st.Mode == spanner.ModeStrict {
-		fmt.Fprintf(w, "det eVA:        %d states, dense table %d bytes\n", st.DetStates, st.DenseTableBytes)
+		fmt.Fprintf(w, "det eVA:        %d states, dense table %d bytes (%d byte classes)\n",
+			st.DetStates, st.DenseTableBytes, st.ByteClasses)
+		fmt.Fprintf(w, "accelerated:    %d states\n", st.AcceleratedStates)
+	}
+	if st.PrefilterEnabled {
+		fmt.Fprintf(w, "prefilter:      leave bytes %s", st.PrefilterLeaveBytes)
+		if st.PrefilterLiteral != "" {
+			fmt.Fprintf(w, ", literal %q", st.PrefilterLiteral)
+		}
+		fmt.Fprintln(w)
+	} else {
+		fmt.Fprintf(w, "prefilter:      off\n")
 	}
 	fmt.Fprintf(w, "compile time:   %s\n", st.CompileTime)
 }

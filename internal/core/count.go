@@ -32,9 +32,26 @@ func Count(a Automaton, doc []byte) (count uint64, exact bool) {
 	c.inLive[q0] = true
 	c.live = append(c.live, q0)
 
-	for i := 1; i <= len(doc) && len(c.live) > 0; i++ {
+	var gate accelGate
+	gate.init(a)
+	for i, last := 0, 0; i < len(doc) && len(c.live) > 0; {
+		// Counting admits the same bulk skip as enumeration: over an inert
+		// byte the Capturing+Reading round maps the singleton configuration
+		// (and its run counts) to itself, and the counting pass tracks no
+		// positions at all.
+		if gate.on {
+			if q, ok := gate.scanState(c.live); ok {
+				n := gate.trySkip(q, doc[i:], i-last)
+				last = i + n
+				if n > 0 {
+					i += n
+					continue
+				}
+			}
+		}
 		c.capturing()
-		c.reading(doc[i-1])
+		c.reading(doc[i])
+		i++
 	}
 	c.capturing()
 	return c.total()
@@ -145,9 +162,22 @@ func CountBig(a Automaton, doc []byte) *big.Int {
 	c.counts[q0] = big.NewInt(1)
 	c.live = append(c.live, q0)
 
-	for i := 1; i <= len(doc) && len(c.live) > 0; i++ {
+	var gate accelGate
+	gate.init(a)
+	for i, last := 0, 0; i < len(doc) && len(c.live) > 0; {
+		if gate.on {
+			if q, ok := gate.scanState(c.live); ok {
+				n := gate.trySkip(q, doc[i:], i-last)
+				last = i + n
+				if n > 0 {
+					i += n
+					continue
+				}
+			}
+		}
 		c.capturing()
-		c.reading(doc[i-1])
+		c.reading(doc[i])
+		i++
 	}
 	c.capturing()
 	return c.total()
@@ -256,9 +286,11 @@ func (c *bigCounter) reading(ch byte) {
 type CountStream struct {
 	a      Automaton
 	c      counter
+	gate   accelGate
 	bc     *bigCounter // non-nil once migrated to big arithmetic
 	snapC  []uint64    // counter state at the last chunk boundary
 	snapL  []int
+	snapG  accelGate
 	closed bool
 }
 
@@ -271,6 +303,7 @@ func NewCountStream(a Automaton) *CountStream {
 	s.c.counts[q0] = 1
 	s.c.inLive[q0] = true
 	s.c.live = append(s.c.live, q0)
+	s.gate.init(a)
 	return s
 }
 
@@ -289,26 +322,51 @@ func (s *CountStream) Feed(chunk []byte) {
 			return
 		}
 		s.snapshot()
-		for i := 0; i < len(chunk) && len(s.c.live) > 0; i++ {
+		for i, last := 0, 0; i < len(chunk) && len(s.c.live) > 0; {
+			if s.gate.on {
+				if q, ok := s.gate.scanState(s.c.live); ok {
+					n := s.gate.trySkip(q, chunk[i:], i-last)
+					last = i + n
+					if n > 0 {
+						i += n
+						continue
+					}
+				}
+			}
 			s.c.capturing()
 			s.c.reading(chunk[i])
+			i++
 		}
 		if !s.c.overflow {
 			return
 		}
 		s.migrate()
 	}
-	for i := 0; i < len(chunk) && len(s.bc.live) > 0; i++ {
+	for i, last := 0, 0; i < len(chunk) && len(s.bc.live) > 0; {
+		if s.gate.on {
+			if q, ok := s.gate.scanState(s.bc.live); ok {
+				n := s.gate.trySkip(q, chunk[i:], i-last)
+				last = i + n
+				if n > 0 {
+					i += n
+					continue
+				}
+			}
+		}
 		s.bc.capturing()
 		s.bc.reading(chunk[i])
+		i++
 	}
 }
 
 // snapshot saves the uint64 counter state so an overflowing chunk can be
-// replayed in big mode.
+// replayed in big mode. The acceleration gate is snapshotted alongside:
+// the big-mode replay makes the same skip decisions the uint64 pass made,
+// so rewinding the gate keeps its counters from double-counting the chunk.
 func (s *CountStream) snapshot() {
 	s.snapC = append(s.snapC[:0], s.c.counts...)
 	s.snapL = append(s.snapL[:0], s.c.live...)
+	s.snapG = s.gate
 }
 
 // migrate rebuilds the counter state of the last chunk boundary with
@@ -327,6 +385,7 @@ func (s *CountStream) migrate() {
 		}
 	}
 	s.bc = bc
+	s.gate = s.snapG
 }
 
 // Close runs the final Capturing. It is idempotent; Count and CountBig call
@@ -370,6 +429,14 @@ func (s *CountStream) Count() (count uint64, exact bool) {
 	}
 	return s.c.total()
 }
+
+// AccelSkippedBytes returns how many document bytes the acceleration layer
+// bulk-skipped so far (0 when the automaton carries no Accelerator).
+func (s *CountStream) AccelSkippedBytes() int64 { return s.gate.skipped }
+
+// AccelFellBack reports whether the effectiveness fallback disabled
+// acceleration for the rest of the document.
+func (s *CountStream) AccelFellBack() bool { return s.gate.fellBack }
 
 // low64 returns the low 64 bits of a non-negative big integer.
 func low64(t *big.Int) uint64 {

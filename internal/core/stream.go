@@ -18,6 +18,7 @@ package core
 type Stream struct {
 	e      *evaluation
 	sc     *Scratch
+	gate   accelGate
 	buf    []byte
 	pos    int
 	closed bool
@@ -51,7 +52,9 @@ func NewStream(a Automaton, sc *Scratch) *Stream {
 		e = &evaluation{}
 	}
 	e.init(a)
-	return &Stream{e: e, sc: sc}
+	s := &Stream{e: e, sc: sc}
+	s.gate.init(a)
+	return s
 }
 
 // Feed advances the pass over the next chunk of the document. The chunk is
@@ -98,7 +101,8 @@ func (s *Stream) CloseWith(doc []byte) *Result {
 // buffer; Evaluate uses it directly to borrow the caller's slice instead of
 // copying.
 func (s *Stream) process(chunk []byte) {
-	for i, c := range chunk {
+	i, last := 0, 0
+	for i < len(chunk) {
 		if len(s.e.live) == 0 {
 			// No state is live, and liveness can only shrink: the result is
 			// already known to be empty, so the rest of the document only
@@ -106,14 +110,41 @@ func (s *Stream) process(chunk []byte) {
 			s.pos += len(chunk) - i
 			return
 		}
+		// With exactly one live state, the automaton may know a run of
+		// inert bytes — bytes whose Capturing+Reading round leaves the
+		// configuration untouched — and the scan jumps over them, only
+		// advancing the position. Partial matches near a chunk boundary
+		// need no special casing: the skip stops before any byte that
+		// could change the configuration, and whatever is live at the
+		// boundary simply stays live into the next Feed.
+		if s.gate.on {
+			if q, ok := s.gate.scanState(s.e.live); ok {
+				n := s.gate.trySkip(q, chunk[i:], i-last)
+				last = i + n
+				if n > 0 {
+					i += n
+					s.pos += n
+					continue
+				}
+			}
+		}
 		s.pos++
 		s.e.capturing(s.pos)
-		s.e.reading(s.pos, c)
+		s.e.reading(s.pos, chunk[i])
+		i++
 	}
 }
 
 // Pos returns the number of document bytes consumed so far.
 func (s *Stream) Pos() int { return s.pos }
+
+// AccelSkippedBytes returns how many document bytes the acceleration layer
+// bulk-skipped so far (0 when the automaton carries no Accelerator).
+func (s *Stream) AccelSkippedBytes() int64 { return s.gate.skipped }
+
+// AccelFellBack reports whether the effectiveness fallback disabled
+// acceleration for the rest of the document (candidate density too high).
+func (s *Stream) AccelFellBack() bool { return s.gate.fellBack }
 
 // Dead reports whether no automaton state is live: every run has died, so
 // the eventual Result is guaranteed empty regardless of further input.

@@ -1,0 +1,385 @@
+package eva
+
+import (
+	"bytes"
+
+	"spanners/internal/model"
+)
+
+// Scan acceleration: literal prefiltering and self-loop skipping for the
+// Algorithm 1 / Algorithm 3 scan loops, in the style of production regex
+// engines (memchr prefilters, accelerated DFA states) but constrained by
+// the spanner setting — enumeration and counting must stay EXACT, so a
+// byte may only be skipped when doing so provably does not change the
+// evaluator's configuration.
+//
+// The key observation: the evaluator's entire per-document state is the
+// live configuration — the set of live deterministic states together with
+// their node lists (or run counts). One position of Algorithm 1 applies
+// Capturing(i) then Reading(i). When the configuration is exactly the
+// singleton {q}, that round is the identity for byte b iff
+//
+//  1. no extended variable transition of q targets q itself (otherwise
+//     Capturing grows q's list),
+//  2. δ(q, b) = q (Reading routes q's list back to q), and
+//  3. for every capture transition (q, S, t): δ(t, b) is undefined (the
+//     nodes Capturing spawned die before touching any list that survives).
+//
+// Such a byte is called inert for q. Inert bytes can be skipped in bulk —
+// whatever q's list (or count) holds — because identity rounds compose:
+// only the position counter advances. The bytes that are NOT inert are
+// q's exit bytes; finding the next exit byte is a memchr-class search.
+//
+// On top of the per-state skip sets, a forced-departure analysis extracts
+// a required literal at states with a single exit byte: if every
+// configuration that leaves the singleton {q} must read the literal
+// byte-for-byte or die without ever touching a surviving list, then the
+// scan can jump with bytes.Index to the next occurrence of the whole
+// literal. Overlapping partial occurrences at the end of the searched
+// window are handed back to the full evaluator (see accel.find), which is
+// also what keeps chunked streaming exact: the live configuration itself
+// carries partial-literal state across chunk boundaries.
+
+// accelMode selects the search strategy of an accelerated state.
+type accelMode uint8
+
+const (
+	accelNone    accelMode = iota // state not accelerated
+	accelScan                     // per-byte bitmap test over the skip set
+	accelMemchr                   // bytes.IndexByte over ≤ maxAccelExits exit bytes
+	accelLiteral                  // bytes.Index over a required literal
+)
+
+const (
+	// maxAccelExits caps the exit-byte list searched via chained
+	// bytes.IndexByte; beyond it the bitmap scan is used.
+	maxAccelExits = 4
+	// maxAccelLiteral caps the extracted literal length.
+	maxAccelLiteral = 32
+	// maxAccelStates caps eager per-state analysis at compile time; larger
+	// automata accelerate only the initial state (the common .*lit.* shape)
+	// to keep CompileDense linear-ish in the table size.
+	maxAccelStates = 1 << 16
+)
+
+// accel is the per-state acceleration record. The zero value means "not
+// accelerated".
+type accel struct {
+	mode accelMode
+	// skip is the inert-byte set of the state.
+	skip model.ByteSet
+	// exits holds the complement of skip when small enough for chained
+	// IndexByte search.
+	exits []byte
+	// lit is the required literal of accelLiteral states; lit[0] is the
+	// state's only exit byte.
+	lit []byte
+}
+
+// find returns how many leading bytes of chunk are provably inert while
+// the live configuration is exactly the singleton owning this record.
+// 0 means the next byte must go through the full evaluator.
+func (a *accel) find(chunk []byte) int {
+	switch a.mode {
+	case accelMemchr:
+		k := len(chunk)
+		// Each IndexByte is bounded by the best candidate found so far, so
+		// the chained search never rescans past an earlier exit.
+		for _, e := range a.exits {
+			if j := bytes.IndexByte(chunk[:k], e); j >= 0 {
+				k = j
+			}
+		}
+		return k
+	case accelScan:
+		for i := 0; i < len(chunk); i++ {
+			if !a.skip.Has(chunk[i]) {
+				return i
+			}
+		}
+		return len(chunk)
+	case accelLiteral:
+		// The forced-departure analysis guarantees that a configuration
+		// leaving {q} either reads lit byte-for-byte or dies without
+		// touching any surviving list. A region with no occurrence of lit
+		// is therefore inert — except that partial occurrences overlapping
+		// the region's end (including the lead-in of the found occurrence)
+		// may still be live there, so the skip stops at the earliest
+		// position whose suffix into the region boundary is a non-empty
+		// prefix of lit. Everything from that position on runs through the
+		// full evaluator, which keeps doc-end and chunk-boundary handling
+		// exact: partial matches simply stay in the live configuration.
+		r := bytes.Index(chunk, a.lit)
+		if r < 0 {
+			r = len(chunk)
+		}
+		lo := r - len(a.lit) + 1
+		if lo < 0 {
+			lo = 0
+		}
+		for m := lo; m < r; m++ {
+			if bytes.Equal(chunk[m:r], a.lit[:r-m]) {
+				return m
+			}
+		}
+		return r
+	}
+	return 0
+}
+
+// stepper abstracts the deterministic automaton views the analysis runs
+// over: the dense-compiled table and the lazy determinizer.
+type stepper interface {
+	step(q int, b byte) (int, bool)
+	caps(q int) []model.Capture
+}
+
+// analyzeAccel computes the acceleration record of state q. withLiteral
+// additionally runs the forced-departure literal extraction when the state
+// has a single exit byte; it is requested only at the scan-anchor state
+// (see findScanState) because extraction explores up to 32×256 transitions.
+func analyzeAccel(s stepper, q int, withLiteral bool) accel {
+	for _, t := range s.caps(q) {
+		if t.To == q {
+			return accel{} // Capturing would grow q's own list
+		}
+	}
+	var skip model.ByteSet
+	targets := s.caps(q)
+	for b := 0; b < 256; b++ {
+		t, ok := s.step(q, byte(b))
+		if !ok || t != q {
+			continue
+		}
+		inert := true
+		for _, e := range targets {
+			if _, ok := s.step(e.To, byte(b)); ok {
+				inert = false
+				break
+			}
+		}
+		if inert {
+			skip.Add(byte(b))
+		}
+	}
+	if skip.IsEmpty() {
+		return accel{}
+	}
+	a := accel{mode: accelScan, skip: skip}
+	exits := skip.Negate().Bytes()
+	if len(exits) <= maxAccelExits {
+		a.mode = accelMemchr
+		a.exits = exits
+	}
+	if withLiteral && len(exits) == 1 {
+		if lit := extractLiteral(s, q, exits[0]); len(lit) >= 2 {
+			a.mode = accelLiteral
+			a.lit = lit
+		}
+	}
+	return a
+}
+
+// extractLiteral runs the forced-departure analysis at state q with single
+// exit byte b0. It returns the longest literal L (L[0] = b0, capped at
+// maxAccelLiteral) such that, starting from the configuration {q}, every
+// departure either follows L byte-for-byte or dies without modifying any
+// list that survives — the property that licenses accel.find's
+// bytes.Index jump.
+//
+// The analysis simulates the departure at the configuration level. X_j is
+// the set of deterministic states a departure occupies after reading
+// L[0..j-1] (beyond the persistent {q}); extending the literal by one byte
+// requires, with E(c) the image of X_j ∪ capTargets(X_j) under byte c:
+//
+//   - δ(q, b0) = q — the {q} part persists through the candidate byte, so
+//     skipped non-occurrences leave it untouched;
+//   - no capture transition of X_j targets q, and q ∉ E(c) for any c —
+//     a departure must never merge back into q's surviving list;
+//   - exactly one byte c* has E(c*) ≠ ∅ — deviation kills the departure
+//     entirely; c* becomes L[j];
+//   - X_{j+1} = E(c*) is disjoint from every earlier X — overlapping
+//     departures at different depths must never share a deterministic
+//     state, or a skipped partial occurrence could smuggle bookkeeping
+//     into a processed one.
+//
+// Whenever a condition fails the literal is capped at its current length:
+// departures that read the whole capped literal are full occurrences,
+// which accel.find always hands to the real evaluator.
+func extractLiteral(s stepper, q int, b0 byte) []byte {
+	if t, ok := s.step(q, b0); !ok || t != q {
+		return nil
+	}
+	seen := map[int]bool{q: true}
+	var x []int
+	addX := func(set []int, t int) []int {
+		for _, y := range set {
+			if y == t {
+				return set
+			}
+		}
+		return append(set, t)
+	}
+	for _, e := range s.caps(q) {
+		if t, ok := s.step(e.To, b0); ok {
+			if t == q {
+				return nil
+			}
+			x = addX(x, t)
+		}
+	}
+	if len(x) == 0 {
+		// b0 is an exit byte only because δ(q, b0) ≠ q, handled above, or
+		// the state table changed under us; either way no departure.
+		return nil
+	}
+	lit := []byte{b0}
+	for _, t := range x {
+		seen[t] = true
+	}
+	for len(lit) < maxAccelLiteral {
+		// One capturing round from the departure set; a capture into q
+		// would pollute q's surviving list, so it caps the literal.
+		ext := append([]int(nil), x...)
+		for _, y := range x {
+			for _, e := range s.caps(y) {
+				if e.To == q {
+					return lit
+				}
+				ext = addX(ext, e.To)
+			}
+		}
+		// Images per byte: exactly one byte may keep the departure alive,
+		// and no byte may route it back into q.
+		next := -1 // the unique continuation byte, -1 while unknown
+		var nx []int
+		for b := 0; b < 256; b++ {
+			var img []int
+			for _, y := range ext {
+				if t, ok := s.step(y, byte(b)); ok {
+					if t == q {
+						return lit
+					}
+					img = addX(img, t)
+				}
+			}
+			if len(img) == 0 {
+				continue
+			}
+			if next >= 0 {
+				return lit // two live continuations: literal ends here
+			}
+			next, nx = b, img
+		}
+		if next < 0 {
+			// Every continuation dies; the departure is a dead end (rare —
+			// trimmed automata keep states co-reachable) and the literal
+			// cannot be extended meaningfully.
+			return lit
+		}
+		for _, t := range nx {
+			if seen[t] {
+				return lit // depth collision: see the doc comment
+			}
+		}
+		lit = append(lit, byte(next))
+		x = nx
+		for _, t := range x {
+			seen[t] = true
+		}
+	}
+	return lit
+}
+
+// maxScanDepth bounds how far findScanState follows the dead-prefix
+// configuration away from the initial state.
+const maxScanDepth = 8
+
+// findScanState locates the scan-anchor state: the deterministic state the
+// configuration sits in while scanning a matchless region. Thompson-style
+// constructions put a short lead-in before the `.*` loop (q0 —.→ q1 with
+// the self-loop on q1), so the initial state itself is often not
+// accelerable while its immediate successors are. The search follows only
+// bytes that keep the configuration a singleton — δ(q, b) defined and no
+// capture target of q surviving b — which is exactly how a dead prefix
+// evolves, and returns the first accelerable state found (breadth-first,
+// bounded depth), or -1.
+func findScanState(s stepper, q0 int) int {
+	if q0 < 0 {
+		return -1
+	}
+	seen := map[int]bool{q0: true}
+	frontier := []int{q0}
+	for depth := 0; depth <= maxScanDepth && len(frontier) > 0; depth++ {
+		var next []int
+		for _, q := range frontier {
+			if a := analyzeAccel(s, q, false); a.mode != accelNone {
+				return q
+			}
+			for b := 0; b < 256; b++ {
+				t, ok := s.step(q, byte(b))
+				if !ok || seen[t] {
+					continue
+				}
+				singleton := true
+				for _, e := range s.caps(q) {
+					if _, ok := s.step(e.To, byte(b)); ok {
+						singleton = false
+						break
+					}
+				}
+				if !singleton {
+					continue
+				}
+				seen[t] = true
+				next = append(next, t)
+			}
+		}
+		frontier = next
+	}
+	return -1
+}
+
+// Prefilter describes the scan-path analysis of a compiled spanner: the
+// bytes that can leave the scan-anchor configuration and the required
+// literal extracted by the forced-departure analysis, when one exists. It
+// is the compile-time half of the acceleration story, surfaced through
+// spanner.Stats and the CLI's -stats.
+type Prefilter struct {
+	// LeaveInitial is the set of bytes that can leave the scan-anchor
+	// configuration (the initial configuration followed through its
+	// dead-prefix lead-in): every other byte is inert there, so a document
+	// region without any of these bytes can never start a match.
+	LeaveInitial model.ByteSet
+	// Literal is the required literal anchored at the scan-anchor
+	// configuration (empty when the departure analysis finds none): every
+	// match departing from it must read the literal in full.
+	Literal string
+	// Accelerated reports whether a scan-anchor state exists at all.
+	Accelerated bool
+}
+
+// AnalyzePrefilter runs the scan-anchor acceleration analysis over the
+// trimmed sequential eVA seq, via an ephemeral on-the-fly determinizer —
+// it materializes only the deterministic states the analysis touches, so
+// it is cheap even when full determinization would not be. Both
+// compilation modes use it to report the same prefilter facts.
+func AnalyzePrefilter(seq *EVA) Prefilter {
+	if seq.Initial() < 0 {
+		return Prefilter{}
+	}
+	l := NewLazy(seq)
+	scanQ := findScanState(lazyStepper{l}, l.Initial())
+	if scanQ < 0 {
+		return Prefilter{}
+	}
+	a := analyzeAccel(lazyStepper{l}, scanQ, true)
+	if a.mode == accelNone {
+		return Prefilter{}
+	}
+	return Prefilter{
+		LeaveInitial: a.skip.Negate(),
+		Literal:      string(a.lit),
+		Accelerated:  true,
+	}
+}

@@ -3,28 +3,99 @@ package eva
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"spanners/internal/model"
 )
 
 // Compiled is the dense-dispatch form of a deterministic eVA: per state a
-// 256-entry next-state row, flattened into one contiguous table, so that a
-// letter transition costs a single array load instead of EVA.Step's linear
-// scan over class edges. The automaton is immutable after construction and
-// therefore safe for concurrent evaluation — the representation the
-// compile-once/evaluate-many facade hands out for the strict path.
+// class-indexed next-state row, flattened into one contiguous table, so
+// that a letter transition costs two array loads (byte→class, then
+// class→state) instead of EVA.Step's linear scan over class edges. The
+// automaton is immutable after construction and therefore safe for
+// concurrent evaluation — the representation the compile-once/
+// evaluate-many facade hands out for the strict path.
 //
-// The table spends 1 KiB per state. That is the right trade for strict
-// determinization, where the state set is materialized up front anyway; the
-// lazy path keeps the per-state [256]int32 rows inside Lazy instead, filled
-// on demand.
+// Bytes that no letter edge distinguishes share a column: the 256 byte
+// values collapse into equivalence classes computed once for the whole
+// automaton (a single shared 256→class map), and each state stores one row
+// per class rather than one per byte. Patterns over ASCII-ish alphabets
+// typically need a few dozen classes, cutting table memory 4–8× versus
+// the former 1 KiB/state layout and keeping the working set cache-resident.
+// The row stride is the class count rounded up to a power of two so the
+// hot-path index stays a shift and an or.
+//
+// Compiled also carries the per-state acceleration records (see accel.go):
+// states whose self-loop covers most bytes answer AccelSkip with a
+// memchr-class search for the next byte that can change the live
+// configuration, and the initial state may carry a required literal for
+// bytes.Index jumps.
 type Compiled struct {
 	reg       *model.Registry
 	initial   int
 	accepting []bool
-	// next[q<<8|c] is δ(q, c), or -1 when undefined.
+	// classOf maps a byte to its equivalence class; bytes in the same
+	// class are indistinguishable to every letter edge of the automaton.
+	classOf [256]uint8
+	// numClasses is the number of byte equivalence classes in use.
+	numClasses int
+	// shift is log2 of the row stride; next[q<<shift|class] is δ(q, class),
+	// or -1 when undefined.
+	shift    uint
 	next     []int32
 	captures [][]model.Capture
+
+	// accels holds the per-state acceleration records when the automaton
+	// is small enough for eager analysis; otherwise sparse holds records
+	// for the initial and scan-anchor states only (those dominate
+	// sparse-corpus scans). scanState is the findScanState anchor, -1 when
+	// none exists.
+	accels    []accel
+	sparse    map[int]*accel
+	scanState int
+	accelOff  bool
+}
+
+// byteClasses computes the byte equivalence classes of the automaton by
+// refining {all bytes} against every distinct letter-edge ByteSet: two
+// bytes end up in the same class iff every edge either contains both or
+// neither, which makes collapsing table columns semantics-preserving.
+func byteClasses(a *EVA) (classOf [256]uint8, numClasses int) {
+	numClasses = 1
+	seen := make(map[model.ByteSet]bool)
+	for q := 0; q < a.NumStates(); q++ {
+		for _, e := range a.letters[q] {
+			if seen[e.Class] {
+				continue
+			}
+			seen[e.Class] = true
+			// Split every class that has members both in and out of e.Class.
+			var hasIn, hasOut [256]bool
+			for b := 0; b < 256; b++ {
+				if e.Class.Has(byte(b)) {
+					hasIn[classOf[b]] = true
+				} else {
+					hasOut[classOf[b]] = true
+				}
+			}
+			var remap [256]int
+			for i := range remap {
+				remap[i] = -1
+			}
+			for b := 0; b < 256; b++ {
+				c := classOf[b]
+				if !hasIn[c] || !hasOut[c] || !e.Class.Has(byte(b)) {
+					continue
+				}
+				if remap[c] < 0 {
+					remap[c] = numClasses
+					numClasses++
+				}
+				classOf[b] = uint8(remap[c])
+			}
+		}
+	}
+	return classOf, numClasses
 }
 
 // CompileDense builds the dense form of a. It fails unless a validates and
@@ -45,30 +116,59 @@ func (a *EVA) CompileDense() (*Compiled, error) {
 		reg:       a.reg,
 		initial:   a.initial,
 		accepting: append([]bool(nil), a.final...),
-		next:      make([]int32, n*256),
 		captures:  make([][]model.Capture, n),
 	}
+	c.classOf, c.numClasses = byteClasses(a)
+	stride := 1
+	for stride < c.numClasses {
+		stride <<= 1
+	}
+	c.shift = uint(bits.TrailingZeros(uint(stride)))
+	c.next = make([]int32, n*stride)
 	for i := range c.next {
 		c.next[i] = -1
 	}
 	for q := 0; q < n; q++ {
-		row := c.next[q<<8 : q<<8+256]
+		row := c.next[q<<c.shift : q<<c.shift+stride]
 		for _, e := range a.letters[q] {
 			for _, b := range e.Class.Bytes() {
-				row[b] = int32(e.To)
+				row[c.classOf[b]] = int32(e.To)
 			}
 		}
 		c.captures[q] = append([]model.Capture(nil), a.captures[q]...)
 	}
+	c.scanState = findScanState(compiledStepper{c}, c.initial)
+	if n <= maxAccelStates {
+		c.accels = make([]accel, n)
+		for q := 0; q < n; q++ {
+			c.accels[q] = analyzeAccel(compiledStepper{c}, q, q == c.scanState)
+		}
+	} else {
+		c.sparse = make(map[int]*accel)
+		if a := analyzeAccel(compiledStepper{c}, c.initial, c.initial == c.scanState); a.mode != accelNone {
+			c.sparse[c.initial] = &a
+		}
+		if c.scanState >= 0 && c.scanState != c.initial {
+			if a := analyzeAccel(compiledStepper{c}, c.scanState, true); a.mode != accelNone {
+				c.sparse[c.scanState] = &a
+			}
+		}
+	}
 	return c, nil
 }
+
+// compiledStepper adapts Compiled to the acceleration analysis.
+type compiledStepper struct{ c *Compiled }
+
+func (s compiledStepper) step(q int, b byte) (int, bool) { return s.c.Step(q, b) }
+func (s compiledStepper) caps(q int) []model.Capture     { return s.c.Captures(q) }
 
 // Initial returns the initial state.
 func (c *Compiled) Initial() int { return c.initial }
 
-// Step returns δ(q, ch) with a single table load.
+// Step returns δ(q, ch): a class lookup and a table load.
 func (c *Compiled) Step(q int, ch byte) (int, bool) {
-	t := c.next[q<<8|int(ch)]
+	t := c.next[q<<c.shift|int(c.classOf[ch])]
 	return int(t), t >= 0
 }
 
@@ -85,5 +185,103 @@ func (c *Compiled) Registry() *model.Registry { return c.reg }
 // NumStates returns |Q|.
 func (c *Compiled) NumStates() int { return len(c.accepting) }
 
-// TableBytes returns the size of the dense transition table in bytes.
-func (c *Compiled) TableBytes() int { return len(c.next) * 4 }
+// NumClasses returns the number of byte equivalence classes the transition
+// table is indexed by (≤ 256; the per-state row stride is the next power
+// of two).
+func (c *Compiled) NumClasses() int { return c.numClasses }
+
+// TableBytes returns the size of the dense transition table in bytes,
+// including the shared byte→class map.
+func (c *Compiled) TableBytes() int { return len(c.next)*4 + len(c.classOf) }
+
+// accelFor returns the acceleration record of q, or nil when q is not
+// accelerated (or acceleration is disabled on this instance).
+func (c *Compiled) accelFor(q int) *accel {
+	if c.accelOff {
+		return nil
+	}
+	if c.accels != nil {
+		if a := &c.accels[q]; a.mode != accelNone {
+			return a
+		}
+		return nil
+	}
+	return c.sparse[q]
+}
+
+// AccelSkip returns how many leading bytes of chunk are provably inert
+// while the live configuration is exactly the singleton {q}: processing
+// them would leave the configuration untouched, so the caller may advance
+// its position counter past them wholesale. 0 means no skip.
+func (c *Compiled) AccelSkip(q int, chunk []byte) int {
+	if a := c.accelFor(q); a != nil {
+		return a.find(chunk)
+	}
+	return 0
+}
+
+// AccelSink reports whether every byte is inert for q: the state self-loops
+// on all 256 bytes and none of its capture spawns can survive any byte. A
+// sink's list rides along unchanged through any skip, so the evaluator may
+// treat live configurations of the form {q'} ∪ sinks as the singleton {q'}
+// — the shape `.*pat.*` scans settle into once a match has completed and
+// the accepting tail stays live forever.
+func (c *Compiled) AccelSink(q int) bool {
+	a := c.accelFor(q)
+	return a != nil && a.skip.Len() == 256
+}
+
+// AccelEnabled reports whether any state of this instance answers
+// AccelSkip with a non-trivial search.
+func (c *Compiled) AccelEnabled() bool { return c.AcceleratedStates() > 0 }
+
+// AcceleratedStates returns how many states carry an acceleration record.
+func (c *Compiled) AcceleratedStates() int {
+	if c.accelOff {
+		return 0
+	}
+	if c.accels == nil {
+		return len(c.sparse)
+	}
+	n := 0
+	for i := range c.accels {
+		if c.accels[i].mode != accelNone {
+			n++
+		}
+	}
+	return n
+}
+
+// ScanLeaveBytes returns the set of bytes that can leave the scan-anchor
+// configuration (the initial configuration followed through its
+// dead-prefix lead-in), when that anchor exists (the second return reports
+// it). Every byte outside the set is inert while no match is in progress.
+func (c *Compiled) ScanLeaveBytes() (model.ByteSet, bool) {
+	if c.scanState >= 0 {
+		if a := c.accelFor(c.scanState); a != nil {
+			return a.skip.Negate(), true
+		}
+	}
+	return model.ByteSet{}, false
+}
+
+// ScanLiteral returns the required literal anchored at the scan-anchor
+// configuration, or "" when the forced-departure analysis found none.
+func (c *Compiled) ScanLiteral() string {
+	if c.scanState >= 0 {
+		if a := c.accelFor(c.scanState); a != nil && a.mode == accelLiteral {
+			return string(a.lit)
+		}
+	}
+	return ""
+}
+
+// WithoutAccel returns a view of the automaton with acceleration disabled:
+// AccelSkip always answers 0 and AccelEnabled false. The view shares the
+// immutable tables with the receiver. It exists for the facade's
+// WithoutPrefilter option and for differential testing of the scan path.
+func (c *Compiled) WithoutAccel() *Compiled {
+	d := *c
+	d.accelOff = true
+	return &d
+}

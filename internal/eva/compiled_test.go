@@ -32,8 +32,17 @@ func TestCompileDenseStepMatchesScan(t *testing.T) {
 	if c.Initial() != a.Initial() || c.NumStates() != a.NumStates() {
 		t.Fatal("shape mismatch")
 	}
-	if c.TableBytes() != a.NumStates()*1024 {
-		t.Fatalf("TableBytes = %d, want %d", c.TableBytes(), a.NumStates()*1024)
+	// Byte-class compression keeps one row per equivalence class instead of
+	// one per byte: the table must be far below the former 1 KiB/state and
+	// account for the shared 256-byte class map.
+	if c.NumClasses() < 2 || c.NumClasses() > 256 {
+		t.Fatalf("NumClasses = %d out of range", c.NumClasses())
+	}
+	if c.TableBytes() >= a.NumStates()*1024 {
+		t.Fatalf("TableBytes = %d, not compressed below %d", c.TableBytes(), a.NumStates()*1024)
+	}
+	if c.TableBytes() < 256 {
+		t.Fatalf("TableBytes = %d misses the class map", c.TableBytes())
 	}
 	for q := 0; q < a.NumStates(); q++ {
 		if c.Accepting(q) != a.Accepting(q) {

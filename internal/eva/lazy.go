@@ -27,6 +27,14 @@ type Lazy struct {
 	index map[string]int
 	sts   []*lazyState
 
+	// accelOff disables AccelSkip on this instance (the facade's
+	// WithoutPrefilter option and differential tests). scanQ memoizes the
+	// findScanState anchor (-1 when none); scanQDone guards its first
+	// computation.
+	accelOff  bool
+	scanQ     int
+	scanQDone bool
+
 	// discovered mirrors len(sts) behind an atomic so StatesDiscovered
 	// never has to touch the memo tables that evaluations mutate.
 	discovered atomic.Int64
@@ -40,6 +48,10 @@ type lazyState struct {
 	// letter[c] is the det target for byte c: ≥ 0 a state id, −1 no
 	// transition, −2 not yet computed.
 	letter [256]int32
+	// acc is the acceleration record of the state, memoized on first
+	// AccelSkip (the analysis itself mints states, like Step does).
+	acc     accel
+	accDone bool
 }
 
 // NewLazy returns a lazy determinizer over src, which must be sequential
@@ -132,6 +144,64 @@ func (l *Lazy) Captures(q int) []model.Capture {
 	st.capsDone = true
 	return st.captures
 }
+
+// lazyStepper adapts Lazy to the acceleration analysis. Both methods mint
+// states, so the analysis runs under the same single-goroutine (or
+// facade-locked) discipline as Step and Captures.
+type lazyStepper struct{ l *Lazy }
+
+func (s lazyStepper) step(q int, b byte) (int, bool) { return s.l.Step(q, b) }
+func (s lazyStepper) caps(q int) []model.Capture     { return s.l.Captures(q) }
+
+// accelRec returns q's memoized acceleration record, computing it on first
+// use exactly like the transition memos. The literal analysis runs only at
+// the scan-anchor state, where sparse scans spend their time.
+func (l *Lazy) accelRec(q int) *accel {
+	if !l.scanQDone {
+		l.scanQ = findScanState(lazyStepper{l}, l.Initial())
+		l.scanQDone = true
+	}
+	st := l.sts[q]
+	if !st.accDone {
+		st.acc = analyzeAccel(lazyStepper{l}, q, q == l.scanQ)
+		st.accDone = true
+	}
+	return &st.acc
+}
+
+// AccelSkip returns how many leading bytes of chunk are provably inert
+// while the live configuration is exactly the singleton {q} (see
+// Compiled.AccelSkip). Like Step it mints and memoizes on first use and is
+// not safe for concurrent use.
+func (l *Lazy) AccelSkip(q int, chunk []byte) int {
+	if l.accelOff {
+		return 0
+	}
+	a := l.accelRec(q)
+	if a.mode == accelNone {
+		return 0
+	}
+	return a.find(chunk)
+}
+
+// AccelSink reports whether every byte is inert for q (see
+// Compiled.AccelSink). Like AccelSkip it may mint states and memoizes the
+// per-state record, so it follows the same single-goroutine discipline.
+func (l *Lazy) AccelSink(q int) bool {
+	if l.accelOff {
+		return false
+	}
+	a := l.accelRec(q)
+	return a.mode != accelNone && a.skip.Len() == 256
+}
+
+// AccelEnabled reports whether AccelSkip may answer non-zero on this
+// instance. The lazy determinizer cannot enumerate its states up front, so
+// this is an optimistic "acceleration is on", not "some state accelerates".
+func (l *Lazy) AccelEnabled() bool { return !l.accelOff }
+
+// DisableAccel turns AccelSkip into a constant 0 on this instance.
+func (l *Lazy) DisableAccel() { l.accelOff = true }
 
 // StatesDiscovered returns how many subset states have been minted so far —
 // the measure that makes the lazy-vs-strict trade-off visible in the

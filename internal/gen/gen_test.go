@@ -80,6 +80,35 @@ func TestNestedPatternCompilesAndCounts(t *testing.T) {
 	}
 }
 
+func TestSparseMatchesShape(t *testing.T) {
+	doc := gen.SparseMatches(1<<16, 0.001, 7)
+	if len(doc) != 1<<16 {
+		t.Fatalf("len = %d", len(doc))
+	}
+	if !bytes.Equal(doc, gen.SparseMatches(1<<16, 0.001, 7)) {
+		t.Fatal("SparseMatches must be deterministic per seed")
+	}
+	s := spanner.MustCompile(gen.SparsePattern)
+	n, exact := s.Count(doc)
+	if !exact || n == 0 {
+		t.Fatalf("Count = %d (exact=%v): planted occurrences must match", n, exact)
+	}
+	// Zero density must mean zero candidates: the filler alphabet avoids
+	// the literal's lead byte entirely.
+	empty := gen.SparseMatches(1<<14, 0, 7)
+	if bytes.IndexByte(empty, 'w') >= 0 {
+		t.Fatal("filler must not contain the literal lead byte")
+	}
+	if !s.IsEmpty(empty) {
+		t.Fatal("density-0 corpus must have no matches")
+	}
+	// The adversarial corpus is candidate-dense by construction.
+	adv := gen.DenseCandidates(1<<14, 7)
+	if c := bytes.Count(adv, []byte{'w'}); c < len(adv)/4 {
+		t.Fatalf("DenseCandidates only %d/%d 'w' bytes", c, len(adv))
+	}
+}
+
 func TestCensusAndRandomDocShapes(t *testing.T) {
 	if got := gen.CensusDoc(3); string(got) != "#cc#cc#cc" {
 		t.Fatalf("CensusDoc(3) = %q", got)

@@ -1,0 +1,61 @@
+package gen
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+// SparsePattern is the extraction pattern SparseMatches plants occurrences
+// of: a capture-anchored literal ("www.") followed by a lowercase host,
+// the shape whose required literal the prefilter analysis extracts. The
+// filler alphabet of SparseMatches avoids the literal's lead byte, so the
+// candidate density of a generated corpus is exactly its match density.
+const SparsePattern = `.*!url{www\.[a-z]+}.*`
+
+// sparseFiller is the filler alphabet: letters, digits and punctuation
+// without 'w' (the literal's only leave byte), so filler bytes are inert
+// for SparsePattern's scan state.
+const sparseFiller = "abcdefghijklmnopqrstuvxyz 0123456789.,;:-!?()"
+
+// SparseMatches generates an n-byte corpus for SparsePattern with the
+// given match density: density is the expected number of planted
+// occurrences per corpus byte (0 ≤ density ≤ 0.01 keeps occurrences
+// non-overlapping in practice; 0 plants none). The same seed always yields
+// the same corpus, so benchmarks and differential tests can share one
+// corpus source without shipping fixtures.
+func SparseMatches(n int, density float64, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var b bytes.Buffer
+	b.Grow(n)
+	for b.Len() < n {
+		if density > 0 && rng.Float64() < density {
+			b.WriteString("www.")
+			for k := 3 + rng.Intn(8); k > 0; k-- {
+				b.WriteByte(byte('a' + rng.Intn(26)))
+			}
+			b.WriteByte(' ')
+			continue
+		}
+		b.WriteByte(sparseFiller[rng.Intn(len(sparseFiller))])
+	}
+	return b.Bytes()[:n]
+}
+
+// DenseCandidates generates an n-byte adversarial corpus for
+// SparsePattern: almost every position starts a partial occurrence
+// ("ww", "www", "www." fragments) that the prefilter must inspect and
+// reject, driving candidate density near 100% so the effectiveness
+// fallback engages. Seeded and deterministic, like SparseMatches.
+func DenseCandidates(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	frags := []string{"ww", "www", "www.", "w.w", "wwww"}
+	var b bytes.Buffer
+	b.Grow(n)
+	for b.Len() < n {
+		b.WriteString(frags[rng.Intn(len(frags))])
+		if rng.Intn(4) == 0 {
+			b.WriteByte(byte('a' + rng.Intn(26)))
+		}
+	}
+	return b.Bytes()[:n]
+}

@@ -76,6 +76,12 @@ type EntryInfo struct {
 	// strict entries, the states discovered so far for lazy ones (it grows
 	// as the shared spanner evaluates documents).
 	DetStates int
+	// PrefilterEnabled reports whether the entry's scan path is literal-
+	// prefiltered; SkippedBytes and Fallbacks are its lifetime acceleration
+	// counters (bytes bulk-skipped, density-fallback activations).
+	PrefilterEnabled      bool
+	PrefilterSkippedBytes int64
+	PrefilterFallbacks    int64
 }
 
 // Cache is a bounded, goroutine-safe compiled-query cache. Create it with
@@ -287,12 +293,16 @@ func (c *Cache) Entries() []EntryInfo {
 	out := make([]EntryInfo, 0, c.lru.Len())
 	for el := c.lru.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*entry)
+		st := e.s.Stats()
 		out = append(out, EntryInfo{
-			Query:     e.canon,
-			Mode:      e.mode,
-			Hits:      e.hits.Load(),
-			Cost:      e.cost,
-			DetStates: e.s.Stats().DetStates,
+			Query:                 e.canon,
+			Mode:                  e.mode,
+			Hits:                  e.hits.Load(),
+			Cost:                  e.cost,
+			DetStates:             st.DetStates,
+			PrefilterEnabled:      st.PrefilterEnabled,
+			PrefilterSkippedBytes: st.PrefilterSkippedBytes,
+			PrefilterFallbacks:    st.PrefilterFallbacks,
 		})
 	}
 	return out

@@ -67,7 +67,9 @@ func (s *Spanner) evaluateContext(ctx context.Context, doc []byte, sc *core.Scra
 	}
 	unlock = s.lockLazy()
 	defer unlock()
-	return st.CloseWith(doc), nil
+	res := st.CloseWith(doc)
+	s.noteAccel(st.AccelSkippedBytes(), st.AccelFellBack())
+	return res, nil
 }
 
 // drainContext is drain with a cancellation check every ctxCheckMatches
@@ -129,6 +131,7 @@ func (s *Spanner) countContext(ctx context.Context, doc []byte) (*core.CountStre
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	s.noteAccel(cs.AccelSkippedBytes(), cs.AccelFellBack())
 	return cs, nil
 }
 

@@ -31,6 +31,7 @@ import (
 	"iter"
 	"math/big"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spanners/internal/core"
@@ -66,6 +67,9 @@ type config struct {
 	// noOptimize disables the logical plan optimizer in Query.Compile;
 	// pattern compilation ignores it.
 	noOptimize bool
+	// noPrefilter disables the scan-acceleration layer (literal prefilter
+	// and self-loop skipping).
+	noPrefilter bool
 }
 
 // WithStrict selects strict (ahead-of-time) determinization; the default.
@@ -86,6 +90,15 @@ func WithLazy() Option { return func(c *config) { c.mode = ModeLazy } }
 
 // WithMode selects the determinization mode explicitly.
 func WithMode(m Mode) Option { return func(c *config) { c.mode = m } }
+
+// WithoutPrefilter disables scan acceleration: the evaluator steps the
+// automaton on every byte instead of bulk-skipping provably inert regions
+// with memchr-class search. Outputs are identical either way — the
+// prefilter is exactness-preserving by construction — so this option
+// exists for the differential tests that prove it, and as an escape hatch
+// if a workload ever measures slower with acceleration than without
+// (the built-in density fallback should make that unnecessary).
+func WithoutPrefilter() Option { return func(c *config) { c.noPrefilter = true } }
 
 // WithoutOptimization disables the logical plan optimizer in Query.Compile:
 // the query tree is lowered exactly as written (nested unions stay chains
@@ -113,10 +126,40 @@ type Stats struct {
 	// DetStates is the number of deterministic subset states: the full
 	// count in strict mode, the number discovered so far in lazy mode.
 	DetStates int
-	// DenseTableBytes is the size of the strict path's next-state table;
-	// zero in lazy mode.
+	// DenseTableBytes is the size of the strict path's next-state table
+	// (byte-class compressed: one row per byte equivalence class, plus the
+	// shared 256→class map); zero in lazy mode.
 	DenseTableBytes int
-	CompileTime     time.Duration
+	// ByteClasses is the number of byte equivalence classes of the strict
+	// path's dense table; zero in lazy mode (the lazy determinizer keeps
+	// per-byte memo rows).
+	ByteClasses int
+	// AcceleratedStates is how many deterministic states carry an
+	// acceleration record (self-loop skip sets or a required literal) in
+	// strict mode; zero in lazy mode, where acceleration records are minted
+	// on demand during evaluation.
+	AcceleratedStates int
+	// PrefilterEnabled reports whether scan acceleration is active on this
+	// spanner: the initial configuration is accelerable and the
+	// WithoutPrefilter option was not given.
+	PrefilterEnabled bool
+	// PrefilterLiteral is the required literal anchored at the initial
+	// configuration — every match must read it in full when departing from
+	// document-scan position — or "" when the analysis found none.
+	PrefilterLiteral string
+	// PrefilterLeaveBytes renders the set of bytes that can leave the
+	// initial configuration (every other byte cannot start a match); ""
+	// when the initial configuration is not accelerable.
+	PrefilterLeaveBytes string
+	// PrefilterSkippedBytes is the total number of document bytes the
+	// acceleration layer bulk-skipped across this spanner's lifetime, over
+	// the entry points that harvest counters (Enumerate, All, the Reader
+	// and Context variants, Preprocess). PrefilterFallbacks counts the
+	// documents on which the density fallback disabled acceleration
+	// mid-scan. Both are read atomically, like DetStates in lazy mode.
+	PrefilterSkippedBytes int64
+	PrefilterFallbacks    int64
+	CompileTime           time.Duration
 	// Plan holds the logical and optimized plan trees when the spanner was
 	// compiled from a Query (including through the deprecated algebra
 	// constructors); nil for plain pattern compiles. The pointer is shared
@@ -157,6 +200,23 @@ type Spanner struct {
 	// All, EnumerateReader, the engine package), so compile-once/
 	// evaluate-many workloads stop paying the per-document allocation.
 	scratch sync.Pool
+
+	// accSkipped/accFallbacks aggregate the scan-acceleration counters
+	// across evaluations; Stats surfaces them as PrefilterSkippedBytes and
+	// PrefilterFallbacks.
+	accSkipped   atomic.Int64
+	accFallbacks atomic.Int64
+}
+
+// noteAccel folds one evaluation's acceleration counters into the
+// spanner-lifetime aggregates.
+func (s *Spanner) noteAccel(skipped int64, fellBack bool) {
+	if skipped != 0 {
+		s.accSkipped.Add(skipped)
+	}
+	if fellBack {
+		s.accFallbacks.Add(1)
+	}
 }
 
 // Compile parses pattern and compiles it into a reusable Spanner.
@@ -226,15 +286,31 @@ func compileEVA(pattern string, e *eva.EVA, start time.Time, opts []Option) (*Sp
 	switch cfg.mode {
 	case ModeLazy:
 		s.lazy = eva.NewLazy(seq)
+		if cfg.noPrefilter {
+			s.lazy.DisableAccel()
+		}
 	default:
 		det := seq.Determinize()
 		dense, err := det.CompileDense()
 		if err != nil {
 			return nil, err
 		}
+		if cfg.noPrefilter {
+			dense = dense.WithoutAccel()
+		}
 		s.dense = dense
 		s.stats.DetStates = det.NumStates()
 		s.stats.DenseTableBytes = dense.TableBytes()
+		s.stats.ByteClasses = dense.NumClasses()
+		s.stats.AcceleratedStates = dense.AcceleratedStates()
+	}
+	// The prefilter facts come from the trimmed sequential eVA via an
+	// ephemeral on-the-fly determinization, so both modes report the same
+	// analysis (the lazy path has no materialized automaton to ask).
+	if pf := eva.AnalyzePrefilter(seq); pf.Accelerated {
+		s.stats.PrefilterEnabled = !cfg.noPrefilter
+		s.stats.PrefilterLiteral = pf.Literal
+		s.stats.PrefilterLeaveBytes = pf.LeaveInitial.String()
 	}
 	s.stats.CompileTime = time.Since(start)
 	return s, nil
@@ -300,6 +376,8 @@ func (s *Spanner) Stats() Stats {
 	if s.lazy != nil {
 		st.DetStates = s.lazy.StatesDiscovered()
 	}
+	st.PrefilterSkippedBytes = s.accSkipped.Load()
+	st.PrefilterFallbacks = s.accFallbacks.Load()
 	return st
 }
 
@@ -308,12 +386,18 @@ func (s *Spanner) Stats() Stats {
 // only until the scratch's next use, so only the bounded-lifetime entry
 // points pass one (Iterator hands the Result to the caller and must not).
 func (s *Spanner) evaluate(doc []byte, sc *core.Scratch) *core.Result {
+	var st *core.Stream
 	if s.lazy != nil {
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		return core.EvaluateScratch(s.lazy, doc, sc)
+		st = core.NewStream(s.lazy, sc)
+	} else {
+		st = core.NewStream(s.dense, sc)
 	}
-	return core.EvaluateScratch(s.dense, doc, sc)
+	st.FeedBorrowed(doc)
+	res := st.CloseWith(doc)
+	s.noteAccel(st.AccelSkippedBytes(), st.AccelFellBack())
+	return res
 }
 
 // Iterator preprocesses doc (one O(|A|·|doc|) pass) and returns a pull

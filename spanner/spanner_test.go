@@ -180,8 +180,14 @@ func TestStatsShape(t *testing.T) {
 	if st.Mode != spanner.ModeStrict {
 		t.Fatal("default mode must be strict")
 	}
-	if st.DetStates <= 0 || st.DenseTableBytes != st.DetStates*1024 {
-		t.Fatalf("stats inconsistent: %+v", st)
+	if st.DetStates <= 0 || st.DenseTableBytes <= 0 || st.DenseTableBytes >= st.DetStates*1024 {
+		t.Fatalf("stats inconsistent (table must be byte-class compressed): %+v", st)
+	}
+	if st.ByteClasses < 2 || st.ByteClasses > 256 {
+		t.Fatalf("ByteClasses = %d out of range", st.ByteClasses)
+	}
+	if st.AcceleratedStates <= 0 || !st.PrefilterEnabled || st.PrefilterLeaveBytes == "" {
+		t.Fatalf("Figure 1 pattern must accelerate: %+v", st)
 	}
 	if st.VAStates <= 0 || st.EVAStates <= 0 {
 		t.Fatalf("intermediate sizes missing: %+v", st)

@@ -101,7 +101,9 @@ func (s *Spanner) streamResultContext(ctx context.Context, r io.Reader, sc *eval
 	}
 	unlock = s.lockLazy()
 	defer unlock()
-	return st.Close(), nil
+	res := st.Close()
+	s.noteAccel(st.AccelSkippedBytes(), st.AccelFellBack())
+	return res, nil
 }
 
 // EnumerateReader reads the document from r, evaluating it incrementally
@@ -172,6 +174,7 @@ func (s *Spanner) countStreamContext(ctx context.Context, r io.Reader, total fun
 	unlock = s.lockLazy()
 	defer unlock()
 	total(cs)
+	s.noteAccel(cs.AccelSkippedBytes(), cs.AccelFellBack())
 	return nil
 }
 
