@@ -1,0 +1,47 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"spanners/corpus"
+	"spanners/spanner"
+)
+
+// BenchmarkShardedScatterGather measures the full scatter/gather
+// enumeration of a registered corpus — per-shard engine evaluation plus
+// the ordered blocking-handoff merge — against shard counts, reporting
+// corpus throughput. K=1 is the single-shard baseline the merge overhead
+// is read against.
+func BenchmarkShardedScatterGather(b *testing.B) {
+	sp := spanner.MustCompile(testPattern, spanner.WithStrict())
+	docs := testDocs(256)
+	var bytes int64
+	for _, d := range docs {
+		bytes += int64(len(d))
+	}
+	for _, k := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			snap := corpus.NewSnapshot("bench", 1, docs, k)
+			co := New(sp, snap)
+			b.SetBytes(bytes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				matches := 0
+				_, err := co.ProcessContext(context.Background(),
+					func(doc int, ev *spanner.Evaluation, _ error) bool {
+						ev.Enumerate(func(*spanner.Match) bool { matches++; return true })
+						return true
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if matches == 0 {
+					b.Fatal("no matches")
+				}
+			}
+		})
+	}
+}

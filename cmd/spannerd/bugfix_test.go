@@ -1,0 +1,149 @@
+// Regression pins for the PR-7 daemon bugfix sweep: hostile timeout_ms
+// overflow, trailing-garbage request bodies, and the within-document flush
+// cadence.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHostileTimeoutClampsToCeiling pins the timeout_ms overflow fix: a
+// huge client timeout (9e15 ms ≈ 285k years) used to wrap negative in the
+// Duration multiplication, expiring the context instantly — an instant 504
+// for a client asking for MORE time. It must clamp to the server ceiling
+// and serve normally.
+func TestHostileTimeoutClampsToCeiling(t *testing.T) {
+	ts := testServer(t, serverConfig{})
+	doc := "Ann <ann1@ex.org>, Bob <bob2@ex.org>"
+	for _, timeout := range []int64{9000000000000000, 1 << 62, math.MaxInt64} {
+		code, body := post(t, ts, "/v1/enumerate", map[string]any{
+			"query": testQuery, "docs": []string{doc}, "timeout_ms": timeout,
+		})
+		if code != http.StatusOK {
+			t.Fatalf("timeout_ms=%d: status %d: %s", timeout, code, body)
+		}
+		rows, tr := ndjson(t, body)
+		if tr.Error != "" || tr.DocsProcessed != 1 {
+			t.Fatalf("timeout_ms=%d: trailer = %+v, want a clean full response", timeout, tr)
+		}
+		if len(rows) != len(refMatches(t, doc)) {
+			t.Fatalf("timeout_ms=%d: %d rows, want %d", timeout, len(rows), len(refMatches(t, doc)))
+		}
+
+		code, body = post(t, ts, "/v1/count", map[string]any{
+			"query": testQuery, "docs": []string{doc}, "timeout_ms": timeout,
+		})
+		if code != http.StatusOK {
+			t.Fatalf("count timeout_ms=%d: status %d (%s), want 200 under the server ceiling", timeout, code, body)
+		}
+	}
+}
+
+// TestTrailingGarbageRejected pins the decode fix: a body with anything
+// after the JSON object — a second concatenated object (whose fields would
+// silently be dropped) or junk bytes — is a 400, while trailing whitespace
+// stays legal.
+func TestTrailingGarbageRejected(t *testing.T) {
+	ts := testServer(t, serverConfig{})
+	valid := `{"query":"/!x{a+}/","docs":["aaa"]}`
+	bad := []struct {
+		name, body string
+	}{
+		{"concatenated object", valid + `{"query":"/b/","docs":["b"]}`},
+		{"junk bytes", valid + `garbage`},
+		{"second array", valid + ` [1,2,3]`},
+		{"null after object", valid + ` null`},
+	}
+	for _, endpoint := range []string{"/v1/enumerate", "/v1/count"} {
+		for _, tc := range bad {
+			code, body := post(t, ts, endpoint, tc.body)
+			if code != http.StatusBadRequest {
+				t.Errorf("%s %s: status %d (%s), want 400", endpoint, tc.name, code, body)
+			}
+			var eb errorBody
+			if err := json.Unmarshal([]byte(body), &eb); err != nil || eb.Error == "" {
+				t.Errorf("%s %s: error body %q is not {\"error\":…}", endpoint, tc.name, body)
+			}
+		}
+		if code, body := post(t, ts, endpoint, valid+"\n\t "); code != http.StatusOK {
+			t.Errorf("%s trailing whitespace: status %d (%s), want 200", endpoint, code, body)
+		}
+	}
+	// The corpus registration endpoint shares the strict decoder.
+	if code, _ := post(t, ts, "/v1/corpus/c", `{"docs":["x"]}{"docs":["y"]}`); code != http.StatusBadRequest {
+		t.Errorf("corpus register with concatenated body: status %d, want 400", code)
+	}
+}
+
+// flushCountingWriter counts Flush calls and the rows written since the
+// last one, recording the largest unflushed run.
+type flushCountingWriter struct {
+	*httptest.ResponseRecorder
+	flushes         int
+	rowsSinceFlush  int
+	maxRunUnflushed int
+}
+
+func (w *flushCountingWriter) Write(p []byte) (int, error) {
+	w.rowsSinceFlush += strings.Count(string(p), "\n")
+	if w.rowsSinceFlush > w.maxRunUnflushed {
+		w.maxRunUnflushed = w.rowsSinceFlush
+	}
+	return w.ResponseRecorder.Write(p)
+}
+
+func (w *flushCountingWriter) Flush() {
+	w.flushes++
+	w.rowsSinceFlush = 0
+	w.ResponseRecorder.Flush()
+}
+
+// TestFlushCadenceWithinDocument pins the streaming fix: one huge document
+// used to buffer its entire match stream (the handler only flushed between
+// documents), so a client watching a long extraction saw nothing until the
+// document finished. The handler now flushes every 256 rows inside a
+// document, on every path (single doc, batch, corpus).
+func TestFlushCadenceWithinDocument(t *testing.T) {
+	srv := newServer(serverConfig{defaultMode: 0})
+	// ~3000 matches from a single document: "ab" repeated.
+	doc := strings.Repeat("ab", 3000)
+	body := fmt.Sprintf(`{"query":"/.*!x{ab}.*/","docs":[%q]}`, doc)
+
+	run := func(t *testing.T, body string) *flushCountingWriter {
+		t.Helper()
+		req := httptest.NewRequest(http.MethodPost, "/v1/enumerate", strings.NewReader(body))
+		w := &flushCountingWriter{ResponseRecorder: httptest.NewRecorder()}
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", w.Code, w.Body.String())
+		}
+		rows, tr := ndjson(t, w.Body.String())
+		if len(rows) < 1000 {
+			t.Fatalf("test document produced only %d rows", len(rows))
+		}
+		if tr.Error != "" {
+			t.Fatalf("trailer = %+v", tr)
+		}
+		return w
+	}
+
+	w := run(t, body)
+	if w.flushes < 4 {
+		t.Fatalf("single huge document: %d flushes, want the 256-row cadence (≥4)", w.flushes)
+	}
+	if w.maxRunUnflushed > 300 {
+		t.Fatalf("longest unflushed run is %d rows; the 256-row cadence must bound it", w.maxRunUnflushed)
+	}
+
+	// Batch path: the same huge document twice.
+	batch := fmt.Sprintf(`{"query":"/.*!x{ab}.*/","docs":[%q,%q]}`, doc, doc)
+	if w := run(t, batch); w.maxRunUnflushed > 300 {
+		t.Fatalf("batch: longest unflushed run is %d rows", w.maxRunUnflushed)
+	}
+}

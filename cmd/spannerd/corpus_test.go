@@ -1,0 +1,387 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"spanners/corpus"
+	"spanners/internal/gen"
+)
+
+// postRaw posts and returns the full response, for tests that need headers.
+func postRaw(t *testing.T, ts *httptest.Server, path string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(string(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func registerCorpus(t *testing.T, ts *httptest.Server, name string, docs []string, shards int) corpusInfo {
+	t.Helper()
+	code, body := post(t, ts, "/v1/corpus/"+name, corpusRequest{Docs: docs, Shards: shards})
+	if code != http.StatusOK {
+		t.Fatalf("register %s: %d %s", name, code, body)
+	}
+	var info corpusInfo
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func corpusDocs(n int) []string {
+	docs := make([]string, n)
+	for i := range docs {
+		switch i % 4 {
+		case 0:
+			docs[i] = string(gen.Contacts(4+i%7, int64(i)))
+		case 1:
+			docs[i] = "no matches in this document"
+		case 2:
+			docs[i] = string(gen.Figure1Doc())
+		default:
+			docs[i] = ""
+		}
+	}
+	return docs
+}
+
+// TestCorpusLifecycle walks register → info → replace → delete →
+// re-register, pinning the monotone generation story on the wire.
+func TestCorpusLifecycle(t *testing.T) {
+	ts := testServer(t, serverConfig{})
+	docs := corpusDocs(10)
+
+	info := registerCorpus(t, ts, "contacts", docs, 3)
+	if info.Generation != 1 || info.Docs != 10 || info.Shards != 3 || info.Bytes <= 0 {
+		t.Fatalf("register info = %+v", info)
+	}
+
+	// GET info exposes the per-shard partition.
+	code, body := get(t, ts, "/v1/corpus/contacts")
+	if code != http.StatusOK {
+		t.Fatalf("info: %d %s", code, body)
+	}
+	var full corpusInfo
+	if err := json.Unmarshal([]byte(body), &full); err != nil {
+		t.Fatal(err)
+	}
+	if len(full.ShardInfo) != 3 {
+		t.Fatalf("shard info = %+v", full.ShardInfo)
+	}
+	shardDocs, shardBytes := 0, int64(0)
+	for _, sh := range full.ShardInfo {
+		shardDocs += sh.Docs
+		shardBytes += sh.Bytes
+	}
+	if shardDocs != full.Docs || shardBytes != full.Bytes {
+		t.Fatalf("shards don't partition the corpus: %+v", full)
+	}
+
+	if info := registerCorpus(t, ts, "contacts", docs[:4], 2); info.Generation != 2 || info.Docs != 4 {
+		t.Fatalf("replace info = %+v", info)
+	}
+
+	// List shows it; delete consumes a generation; re-register keeps climbing.
+	code, body = get(t, ts, "/v1/corpus")
+	if code != http.StatusOK || !strings.Contains(body, `"contacts"`) {
+		t.Fatalf("list: %d %s", code, body)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/corpus/contacts", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var del struct {
+		Generation uint64 `json:"generation"`
+		Deleted    bool   `json:"deleted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&del); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !del.Deleted || del.Generation != 3 {
+		t.Fatalf("delete = %d %+v", resp.StatusCode, del)
+	}
+	if code, _ := get(t, ts, "/v1/corpus/contacts"); code != http.StatusNotFound {
+		t.Fatalf("info after delete = %d, want 404", code)
+	}
+	if info := registerCorpus(t, ts, "contacts", docs[:1], 1); info.Generation != 4 {
+		t.Fatalf("re-register generation = %d, want 4 (past the tombstone)", info.Generation)
+	}
+}
+
+func TestCorpusRegistrationErrors(t *testing.T) {
+	ts := testServer(t, serverConfig{corpusLimits: corpus.Limits{
+		MaxCorpora: 4, MaxDocs: 50, MaxBytes: 1 << 20, MaxShards: 16,
+	}})
+	cases := []struct {
+		name string
+		path string
+		body any
+		code int
+	}{
+		{"invalid name", "/v1/corpus/bad%20name", corpusRequest{Docs: []string{"x"}}, http.StatusBadRequest},
+		{"too many shards", "/v1/corpus/c", corpusRequest{Docs: []string{"x"}, Shards: 1000}, http.StatusBadRequest},
+		{"negative shards", "/v1/corpus/c", corpusRequest{Docs: []string{"x"}, Shards: -1}, http.StatusBadRequest},
+		{"too many docs", "/v1/corpus/c", corpusRequest{Docs: make([]string, 100)}, http.StatusBadRequest},
+		{"unknown field", "/v1/corpus/c", map[string]any{"docs": []string{"x"}, "nope": 1}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if code, body := post(t, ts, tc.path, tc.body); code != tc.code {
+			t.Errorf("%s: %d %s, want %d", tc.name, code, body, tc.code)
+		}
+	}
+	// Enumerating an unregistered corpus is a 404, not a 400: the request
+	// is well-formed, the name just doesn't resolve.
+	if code, body := post(t, ts, "/v1/enumerate?corpus=nope", map[string]any{"query": "/a/"}); code != http.StatusNotFound {
+		t.Errorf("unknown corpus enumerate: %d %s, want 404", code, body)
+	}
+	if code, body := post(t, ts, "/v1/count?corpus=nope", map[string]any{"query": "/a/"}); code != http.StatusNotFound {
+		t.Errorf("unknown corpus count: %d %s, want 404", code, body)
+	}
+	// docs + corpus is ambiguous and rejected before name resolution.
+	if code, _ := post(t, ts, "/v1/enumerate?corpus=nope", map[string]any{"query": "/a/", "docs": []string{"x"}}); code != http.StatusBadRequest {
+		t.Errorf("docs+corpus: %d, want 400", code)
+	}
+}
+
+// TestCorpusEnumerateByteIdentical is the acceptance differential: the
+// NDJSON stream (rows AND trailer) of a K-shard corpus enumeration is
+// byte-identical to the unsharded evaluation of the same documents as
+// request-body docs, for K ∈ {1, 2, 8}, strict and lazy.
+func TestCorpusEnumerateByteIdentical(t *testing.T) {
+	ts := testServer(t, serverConfig{})
+	docs := corpusDocs(23)
+
+	for _, mode := range []string{"strict", "lazy"} {
+		_, unsharded := post(t, ts, "/v1/enumerate", map[string]any{
+			"query": testQuery, "docs": docs, "mode": mode,
+		})
+		_, unshardedCounts := post(t, ts, "/v1/count", map[string]any{
+			"query": testQuery, "docs": docs, "mode": mode,
+		})
+		for _, k := range []int{1, 2, 8} {
+			name := fmt.Sprintf("c%s%d", mode, k)
+			registerCorpus(t, ts, name, docs, k)
+
+			resp := postRaw(t, ts, "/v1/enumerate?corpus="+name, map[string]any{
+				"query": testQuery, "mode": mode,
+			})
+			body := readAll(t, resp)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s K=%d: %d %s", mode, k, resp.StatusCode, body)
+			}
+			if body != unsharded {
+				t.Fatalf("%s K=%d: corpus stream diverges from unsharded stream\ngot  %s\nwant %s", mode, k, body, unsharded)
+			}
+			if g := resp.Header.Get("X-Spanners-Corpus-Generation"); g != "1" {
+				t.Fatalf("%s K=%d: generation header %q", mode, k, g)
+			}
+			if sh := resp.Header.Get("X-Spanners-Corpus-Shards"); sh != strconv.Itoa(k) {
+				t.Fatalf("%s K=%d: shards header %q", mode, k, sh)
+			}
+
+			if code, counts := post(t, ts, "/v1/count?corpus="+name, map[string]any{
+				"query": testQuery, "mode": mode,
+			}); code != http.StatusOK || counts != unshardedCounts {
+				t.Fatalf("%s K=%d: corpus counts diverge (%d)\ngot  %s\nwant %s", mode, k, code, counts, unshardedCounts)
+			}
+		}
+	}
+}
+
+// TestCorpusDeadlineAccounting registers a corpus big enough that a short
+// deadline lands mid-stream and pins the trailer: error set, exact
+// processed/skipped split, every row inside the processed prefix.
+func TestCorpusDeadlineAccounting(t *testing.T) {
+	ts := testServer(t, serverConfig{})
+	doc := string(gen.Contacts(4000, 9))
+	docs := make([]string, 64)
+	for i := range docs {
+		docs[i] = doc
+	}
+	registerCorpus(t, ts, "big", docs, 8)
+	// Warm the cache so compilation doesn't eat the budget.
+	if code, body := post(t, ts, "/v1/count", map[string]any{
+		"query": testQuery, "docs": []string{"warm"}}); code != http.StatusOK {
+		t.Fatalf("warmup: %d %s", code, body)
+	}
+	code, body := post(t, ts, "/v1/enumerate?corpus=big", map[string]any{
+		"query": testQuery, "timeout_ms": 15,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	rows, tr := ndjson(t, body)
+	if tr.Error == "" {
+		t.Skip("machine evaluated ~6 MB under 15ms; deadline never landed")
+	}
+	if tr.Docs != len(docs) || tr.DocsProcessed+tr.DocsSkipped != tr.Docs {
+		t.Fatalf("inconsistent accounting: %+v", tr)
+	}
+	if tr.DocsSkipped == 0 {
+		t.Fatalf("deadline reported but nothing skipped: %+v", tr)
+	}
+	seen := make(map[int]bool)
+	for _, row := range rows {
+		if row.Doc >= tr.DocsProcessed {
+			t.Fatalf("row for doc %d beyond the processed prefix %d", row.Doc, tr.DocsProcessed)
+		}
+		seen[row.Doc] = true
+	}
+	if int64(len(rows)) != tr.Matches {
+		t.Fatalf("%d rows but trailer says %d matches", len(rows), tr.Matches)
+	}
+
+	// count over the corpus is all-or-nothing: same deadline, 504.
+	code, body = post(t, ts, "/v1/count?corpus=big", map[string]any{
+		"query": testQuery, "timeout_ms": 15})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("count under deadline = %d (%s), want 504", code, body)
+	}
+}
+
+// TestCorpusReplaceNeverMixesGenerations races corpus replacement against
+// enumeration: every response must be computed against exactly one
+// generation — its rows all match the generation stamped in the response
+// header, never a blend of two document sets. Run under -race in CI it is
+// the concurrency pin for the registry swap and snapshot immutability.
+func TestCorpusReplaceNeverMixesGenerations(t *testing.T) {
+	ts := testServer(t, serverConfig{})
+	genDocs := func(g int) []string {
+		docs := make([]string, 12)
+		for i := range docs {
+			docs[i] = fmt.Sprintf("item g%d x", g)
+		}
+		return docs
+	}
+	if info := registerCorpus(t, ts, "flip", genDocs(1), 4); info.Generation != 1 {
+		t.Fatalf("seed generation %d", info.Generation)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		// The replacer cannot use test helpers (it may outlive an early
+		// t.Fatal); failures surface as the main loop seeing a stale
+		// generation forever, which the invariant tolerates.
+		defer wg.Done()
+		for g := 2; !stop.Load(); g++ {
+			body, _ := json.Marshal(corpusRequest{Docs: genDocs(g), Shards: 1 + g%5})
+			resp, err := http.Post(ts.URL+"/v1/corpus/flip", "application/json", strings.NewReader(string(body)))
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+		}
+	}()
+	defer func() {
+		stop.Store(true)
+		wg.Wait()
+	}()
+
+	// The trailing space anchors the capture to the whole g<digits> token,
+	// so every document yields exactly one match.
+	const query = `/.*!g{g[0-9]+} .*/`
+	for i := 0; i < 40; i++ {
+		resp := postRaw(t, ts, "/v1/enumerate?corpus=flip", map[string]any{"query": query})
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("enumerate: %d %s", resp.StatusCode, body)
+		}
+		hdrGen := resp.Header.Get("X-Spanners-Corpus-Generation")
+		rows, tr := ndjson(t, body)
+		if tr.Docs != 12 || tr.DocsProcessed != 12 {
+			t.Fatalf("trailer = %+v", tr)
+		}
+		want := "g" + hdrGen
+		for _, row := range rows {
+			if got := row.Spans["g"].Text; got != want {
+				t.Fatalf("response mixes generations: row says %q, header says %q", got, want)
+			}
+		}
+		if len(rows) != 12 {
+			t.Fatalf("%d rows, want one per document", len(rows))
+		}
+	}
+}
+
+// TestCorpusVars pins the per-shard monitoring gauges: after serving a
+// corpus enumeration, /debug/vars reports each shard's docs/bytes and the
+// matches it served.
+func TestCorpusVars(t *testing.T) {
+	ts := testServer(t, serverConfig{})
+	docs := corpusDocs(17)
+	registerCorpus(t, ts, "mon", docs, 4)
+	code, body := post(t, ts, "/v1/enumerate?corpus=mon", map[string]any{"query": testQuery})
+	if code != http.StatusOK {
+		t.Fatalf("enumerate: %d %s", code, body)
+	}
+	_, tr := ndjson(t, body)
+	if tr.Matches == 0 {
+		t.Fatal("test corpus produced no matches")
+	}
+
+	vars := debugVars(t, ts)
+	var cs []corpusInfo
+	if err := json.Unmarshal(vars["spannerd_corpora"], &cs); err != nil {
+		t.Fatalf("spannerd_corpora: %v\n%s", err, vars["spannerd_corpora"])
+	}
+	if len(cs) != 1 || cs[0].Name != "mon" || cs[0].Generation != 1 || cs[0].Docs != len(docs) {
+		t.Fatalf("spannerd_corpora = %+v", cs)
+	}
+	if len(cs[0].ShardInfo) != 4 {
+		t.Fatalf("shard info = %+v", cs[0].ShardInfo)
+	}
+	var served int64
+	var shardDocs int
+	for _, sh := range cs[0].ShardInfo {
+		served += sh.MatchesServed
+		shardDocs += sh.Docs
+	}
+	if served != tr.Matches {
+		t.Fatalf("per-shard served sums to %d, trailer reported %d matches", served, tr.Matches)
+	}
+	if shardDocs != len(docs) {
+		t.Fatalf("per-shard docs sum to %d of %d", shardDocs, len(docs))
+	}
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, readAll(t, resp)
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}

@@ -16,13 +16,22 @@
 //
 //	POST /v1/enumerate  NDJSON: one line per match, then a trailer line
 //	                    accounting for documents processed/skipped.
+//	                    ?corpus=name evaluates a registered corpus via
+//	                    sharded scatter/gather instead of body docs.
 //	POST /v1/count      JSON: exact per-document match counts (Theorem
 //	                    5.1 counting pass; decimal strings, never
-//	                    enumerating).
+//	                    enumerating). Accepts ?corpus=name too.
+//	POST /v1/corpus/{name}    register/replace a corpus: {"docs": [...],
+//	                          "shards": K}; replacement bumps the
+//	                          generation atomically.
+//	GET  /v1/corpus           list registered corpora.
+//	GET  /v1/corpus/{name}    corpus info incl. per-shard gauges.
+//	DELETE /v1/corpus/{name}  delete (consumes a tombstone generation).
 //	GET  /healthz       liveness probe.
 //	GET  /debug/vars    expvar-format snapshot: cache hit/miss/eviction
-//	                    counters, in-flight requests, and per-query lazy
-//	                    determinization progress.
+//	                    counters, in-flight requests, per-query lazy
+//	                    determinization progress, and per-corpus
+//	                    per-shard gauges.
 //
 // Queries compile once per (canonical text, mode) and are reused by every
 // subsequent request; by default they compile in lazy (on-the-fly
@@ -47,6 +56,7 @@ import (
 	"syscall"
 	"time"
 
+	"spanners/corpus"
 	"spanners/spanner"
 	"spanners/spanner/cache"
 )
@@ -61,6 +71,12 @@ func main() {
 		maxBody      = flag.Int64("max-body", 8<<20, "max request body size in bytes")
 		maxDocs      = flag.Int("max-docs", 1024, "max documents per request")
 		workers      = flag.Int("workers", 0, "engine worker-pool size per batch request (0 = GOMAXPROCS)")
+
+		shards          = flag.Int("shards", 4, "default shard count for registered corpora")
+		maxCorpora      = flag.Int("max-corpora", corpus.DefaultMaxCorpora, "max registered corpora")
+		maxCorpusDocs   = flag.Int("max-corpus-docs", corpus.DefaultMaxDocs, "max documents per registered corpus")
+		maxCorpusBytes  = flag.Int64("max-corpus-bytes", corpus.DefaultMaxBytes, "max raw document bytes per registered corpus")
+		maxCorpusShards = flag.Int("max-corpus-shards", corpus.DefaultMaxShards, "max shard count a registration may request")
 	)
 	flag.Parse()
 
@@ -83,6 +99,13 @@ func main() {
 		maxBody:      *maxBody,
 		maxDocs:      *maxDocs,
 		workers:      *workers,
+		shards:       *shards,
+		corpusLimits: corpus.Limits{
+			MaxCorpora: *maxCorpora,
+			MaxDocs:    *maxCorpusDocs,
+			MaxBytes:   *maxCorpusBytes,
+			MaxShards:  *maxCorpusShards,
+		},
 	})
 	httpSrv := &http.Server{
 		Addr:    *addr,

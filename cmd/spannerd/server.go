@@ -19,6 +19,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spanners/cluster"
+	"spanners/corpus"
 	"spanners/engine"
 	"spanners/spanner"
 	"spanners/spanner/cache"
@@ -34,15 +36,18 @@ type serverConfig struct {
 	maxBody      int64         // request body bound, bytes
 	maxDocs      int           // documents per request
 	workers      int           // engine pool size; <1 = GOMAXPROCS
+	shards       int           // default shards per registered corpus
+	corpusLimits corpus.Limits // registration bounds
 }
 
-// server is one spannerd instance: a compiled-query cache plus the HTTP
-// handlers that evaluate against it. It is created by newServer and safe
-// for concurrent use.
+// server is one spannerd instance: a compiled-query cache, the corpus
+// registry, plus the HTTP handlers that evaluate against them. It is
+// created by newServer and safe for concurrent use.
 type server struct {
-	cfg   serverConfig
-	cache *cache.Cache
-	mux   *http.ServeMux
+	cfg     serverConfig
+	cache   *cache.Cache
+	corpora *corpus.Registry
+	mux     *http.ServeMux
 
 	inflight atomic.Int64 // requests currently being served
 	served   atomic.Int64 // requests completed since start
@@ -59,14 +64,22 @@ func newServer(cfg serverConfig) *server {
 	if cfg.maxDocs <= 0 {
 		cfg.maxDocs = 1024
 	}
+	if cfg.shards <= 0 {
+		cfg.shards = 4
+	}
 	s := &server{
 		cfg:     cfg,
 		cache:   cache.New(cache.Config{MaxEntries: cfg.cacheEntries, MaxBytes: cfg.cacheBytes}),
+		corpora: corpus.NewRegistry(cfg.corpusLimits),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
 	s.mux.HandleFunc("POST /v1/enumerate", s.handleEnumerate)
 	s.mux.HandleFunc("POST /v1/count", s.handleCount)
+	s.mux.HandleFunc("POST /v1/corpus/{name}", s.handleCorpusRegister)
+	s.mux.HandleFunc("GET /v1/corpus/{name}", s.handleCorpusInfo)
+	s.mux.HandleFunc("DELETE /v1/corpus/{name}", s.handleCorpusDelete)
+	s.mux.HandleFunc("GET /v1/corpus", s.handleCorpusList)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
 	return s
@@ -82,13 +95,14 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// request is the body of both POST endpoints.
+// request is the body of both POST evaluation endpoints.
 type request struct {
 	// Query is a query expression in the ParseQuery syntax; a plain regex
 	// formula is written as a /…/ literal.
 	Query string `json:"query"`
 	// Docs are the documents to evaluate, fanned out across the engine
-	// worker pool when there is more than one.
+	// worker pool when there is more than one. Mutually exclusive with
+	// the ?corpus= query parameter.
 	Docs []string `json:"docs"`
 	// Mode selects the determinization mode: "lazy", "strict", or "" for
 	// the server default.
@@ -99,22 +113,49 @@ type request struct {
 	// TimeoutMS bounds this request's evaluation; 0 or anything above the
 	// server ceiling means the ceiling.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// Corpus is the registered corpus named by the ?corpus= URL
+	// parameter; filled by decodeRequest, never part of the body.
+	Corpus string `json:"-"`
 }
 
-// decodeRequest parses and validates a request body against the server
-// bounds. A non-nil error is a client error; the caller maps it to a 4xx.
-func (s *server) decodeRequest(w http.ResponseWriter, r *http.Request) (*request, error) {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.maxBody))
+// decodeStrict decodes exactly one JSON value from r into v, rejecting
+// trailing garbage. A single dec.Decode stops at the end of the first
+// value, silently ignoring a second concatenated object or junk bytes —
+// for a hostile or confused client that is a request whose tail the
+// server would quietly drop, so it is a client error instead. The check
+// decodes a second value and demands io.EOF: concatenated JSON decodes
+// (not EOF) and junk errors (not EOF), while trailing whitespace is EOF.
+func decodeStrict(body io.Reader, v any) error {
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
-	var req request
-	if err := dec.Decode(&req); err != nil {
-		return nil, fmt.Errorf("decoding request body: %w", err)
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
 	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return errors.New("request body has trailing data after the JSON object")
+	}
+	return nil
+}
+
+// decodeRequest parses and validates an evaluation request — body plus the
+// ?corpus= parameter — against the server bounds. A non-nil error is a
+// client error; the caller maps it to a 4xx.
+func (s *server) decodeRequest(w http.ResponseWriter, r *http.Request) (*request, error) {
+	var req request
+	if err := decodeStrict(http.MaxBytesReader(w, r.Body, s.cfg.maxBody), &req); err != nil {
+		return nil, err
+	}
+	req.Corpus = r.URL.Query().Get("corpus")
 	if req.Query == "" {
 		return nil, errors.New(`request needs a "query"`)
 	}
-	if len(req.Docs) == 0 {
-		return nil, errors.New(`request needs at least one document in "docs"`)
+	if req.Corpus != "" && len(req.Docs) > 0 {
+		return nil, errors.New(`request supplies both "docs" and ?corpus=; they are mutually exclusive`)
+	}
+	if req.Corpus == "" && len(req.Docs) == 0 {
+		return nil, errors.New(`request needs at least one document in "docs" (or a ?corpus= parameter)`)
 	}
 	if len(req.Docs) > s.cfg.maxDocs {
 		return nil, fmt.Errorf("request has %d documents; this server accepts at most %d", len(req.Docs), s.cfg.maxDocs)
@@ -142,13 +183,16 @@ func (s *server) mode(req *request) spanner.Mode {
 }
 
 // deadline derives the request context: the client's timeout_ms, clamped
-// to the server ceiling (which also serves as the default).
+// to the server ceiling (which also serves as the default). The clamp
+// compares in milliseconds BEFORE converting to a Duration: a hostile
+// timeout_ms like 9e15 overflows the nanosecond multiplication to a
+// negative Duration, and a duration-space comparison would then pick the
+// wrapped value and expire the context instantly — turning a
+// "give me lots of time" request into an unconditional 504.
 func (s *server) deadline(r *http.Request, req *request) (context.Context, context.CancelFunc) {
 	d := s.cfg.maxTimeout
-	if req.TimeoutMS > 0 {
-		if rd := time.Duration(req.TimeoutMS) * time.Millisecond; rd < d {
-			d = rd
-		}
+	if ms := req.TimeoutMS; ms > 0 && ms < int64(s.cfg.maxTimeout/time.Millisecond) {
+		d = time.Duration(ms) * time.Millisecond
 	}
 	return context.WithTimeout(r.Context(), d)
 }
@@ -205,12 +249,24 @@ type trailer struct {
 // handleEnumerate streams every match of every document as NDJSON,
 // grouped by document in input order, and closes with a trailer line.
 // Single documents run sp.EnumerateContext directly; batches fan out
-// through engine.ProcessContext, preprocessing on the worker pool.
+// through engine.ProcessContext, preprocessing on the worker pool; a
+// ?corpus= request scatters over the registered corpus's shards and
+// gathers the per-shard streams back into the same global input order
+// (package cluster), so the response is byte-identical to evaluating the
+// corpus documents unsharded.
 func (s *server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	req, err := s.decodeRequest(w, r)
 	if err != nil {
 		writeRequestError(w, err)
 		return
+	}
+	var snap *corpus.Snapshot
+	if req.Corpus != "" {
+		var ok bool
+		if snap, ok = s.corpora.Get(req.Corpus); !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("no corpus registered as %q", req.Corpus))
+			return
+		}
 	}
 	ctx, cancel := s.deadline(r, req)
 	defer cancel()
@@ -219,8 +275,16 @@ func (s *server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if snap != nil {
+		setCorpusHeaders(w, snap)
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
 	tr := trailer{Docs: len(req.Docs)}
 	var writeErr error
 	emitDoc := func(doc int, names []string, m *spanner.Match, emitted *int) bool {
@@ -242,15 +306,39 @@ func (s *server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		tr.Matches++
 		*emitted++
 		// The enumeration phase replays matches without touching the scan
-		// loops, so it checks the deadline itself every few hundred yields.
-		if tr.Matches%256 == 0 && ctx.Err() != nil {
-			return false
+		// loops, so every few hundred yields it checks the deadline itself
+		// — and pushes the buffered rows to the client, so one document
+		// with millions of matches still streams visible progress instead
+		// of buffering until the document (or the response) completes.
+		if tr.Matches%256 == 0 {
+			flush()
+			if ctx.Err() != nil {
+				return false
+			}
 		}
 		return true
 	}
 
 	names := sp.Vars()
-	if len(req.Docs) == 1 {
+	switch {
+	case snap != nil:
+		tr.Docs = snap.Len()
+		co := cluster.New(sp, snap, cluster.Workers(s.cfg.workers))
+		gather, cerr := co.ProcessContext(ctx,
+			func(doc int, ev *spanner.Evaluation, _ error) bool {
+				n := 0
+				ev.Enumerate(func(m *spanner.Match) bool {
+					return emitDoc(doc, names, m, &n)
+				})
+				snap.AddServed(snap.Owner(doc), int64(n))
+				flush()
+				return writeErr == nil
+			})
+		tr.DocsProcessed = gather.Processed
+		if cerr != nil {
+			tr.Error = cerr.Error()
+		}
+	case len(req.Docs) == 1:
 		emitted := 0
 		err := sp.EnumerateContext(ctx, []byte(req.Docs[0]), func(m *spanner.Match) bool {
 			return emitDoc(0, names, m, &emitted)
@@ -264,7 +352,7 @@ func (s *server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 		if err == nil || tr.Matches > 0 {
 			tr.DocsProcessed = 1
 		}
-	} else {
+	default:
 		docs := req.Docs
 		eng := engine.New(sp, engine.Workers(s.cfg.workers))
 		emitted, ctxErr := eng.ProcessContext(ctx, len(docs),
@@ -274,9 +362,7 @@ func (s *server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 				ev.Enumerate(func(m *spanner.Match) bool {
 					return emitDoc(int(i), names, m, &n)
 				})
-				if f, ok := w.(http.Flusher); ok {
-					f.Flush()
-				}
+				flush()
 				return writeErr == nil
 			})
 		tr.DocsProcessed = emitted
@@ -295,9 +381,7 @@ func (s *server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	tr.Trailer = true
 	tr.DocsSkipped = tr.Docs - tr.DocsProcessed
 	_ = enc.Encode(tr)
-	if f, ok := w.(http.Flusher); ok {
-		f.Flush()
-	}
+	flush()
 }
 
 // countResult is one document's count in a count response. Count is a
@@ -325,10 +409,40 @@ func (s *server) handleCount(w http.ResponseWriter, r *http.Request) {
 		writeRequestError(w, err)
 		return
 	}
+	var snap *corpus.Snapshot
+	if req.Corpus != "" {
+		var ok bool
+		if snap, ok = s.corpora.Get(req.Corpus); !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("no corpus registered as %q", req.Corpus))
+			return
+		}
+	}
 	ctx, cancel := s.deadline(r, req)
 	defer cancel()
 	sp, ok := s.compileCached(ctx, w, req)
 	if !ok {
+		return
+	}
+
+	if snap != nil {
+		// Scatter the counting pass over the corpus shards; results land
+		// in global document order, all-or-nothing like the docs path.
+		resp := countResponse{Counts: make([]countResult, snap.Len())}
+		co := cluster.New(sp, snap, cluster.Workers(s.cfg.workers))
+		err := co.CountContext(ctx, func(ctx context.Context, doc int, data []byte) error {
+			c, err := countDoc(ctx, sp, data)
+			if err != nil {
+				return err
+			}
+			resp.Counts[doc] = c
+			return nil
+		})
+		if err != nil {
+			writeError(w, http.StatusGatewayTimeout, err.Error())
+			return
+		}
+		setCorpusHeaders(w, snap)
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 
@@ -377,6 +491,136 @@ func countDoc(ctx context.Context, sp *spanner.Spanner, doc []byte) (countResult
 		return countResult{}, err
 	}
 	return countResult{Count: big.String(), Exact: true}, nil
+}
+
+// corpusRequest is the body of POST /v1/corpus/{name}.
+type corpusRequest struct {
+	// Docs are the corpus documents, in the input order every enumeration
+	// of the corpus will reproduce.
+	Docs []string `json:"docs"`
+	// Shards overrides the server's default shard count (-shards);
+	// 0 means the default.
+	Shards int `json:"shards,omitempty"`
+}
+
+// corpusInfo describes one registered corpus on the wire; shard is
+// present in the per-shard listing of GET /v1/corpus/{name} and
+// /debug/vars but omitted from summaries.
+type corpusInfo struct {
+	Name       string           `json:"name"`
+	Generation uint64           `json:"generation"`
+	Docs       int              `json:"docs"`
+	Bytes      int64            `json:"bytes"`
+	Shards     int              `json:"shards"`
+	ShardInfo  []corpusShardVar `json:"shard_info,omitempty"`
+}
+
+// corpusShardVar is one shard's gauges: its slice of the corpus plus the
+// matches it has served (this generation).
+type corpusShardVar struct {
+	Shard         int   `json:"shard"`
+	Docs          int   `json:"docs"`
+	Bytes         int64 `json:"bytes"`
+	MatchesServed int64 `json:"matches_served"`
+}
+
+func snapInfo(snap *corpus.Snapshot, shards bool) corpusInfo {
+	info := corpusInfo{
+		Name:       snap.Name(),
+		Generation: snap.Generation(),
+		Docs:       snap.Len(),
+		Bytes:      snap.Bytes(),
+		Shards:     snap.Shards(),
+	}
+	if shards {
+		info.ShardInfo = make([]corpusShardVar, snap.Shards())
+		for k := range info.ShardInfo {
+			info.ShardInfo[k] = corpusShardVar{
+				Shard:         k,
+				Docs:          len(snap.ShardDocs(k)),
+				Bytes:         snap.ShardBytes(k),
+				MatchesServed: snap.Served(k),
+			}
+		}
+	}
+	return info
+}
+
+// setCorpusHeaders stamps a corpus-backed response with the generation it
+// was computed against. Headers rather than trailer fields on purpose: the
+// NDJSON stream of a corpus enumeration stays byte-identical to the
+// equivalent request-docs stream, which is the merge's whole contract.
+func setCorpusHeaders(w http.ResponseWriter, snap *corpus.Snapshot) {
+	h := w.Header()
+	h.Set("X-Spanners-Corpus", snap.Name())
+	h.Set("X-Spanners-Corpus-Generation", fmt.Sprintf("%d", snap.Generation()))
+	h.Set("X-Spanners-Corpus-Shards", fmt.Sprintf("%d", snap.Shards()))
+}
+
+// handleCorpusRegister installs (or replaces) a named corpus. Replacement
+// is atomic with a monotone generation bump: requests already evaluating
+// the old snapshot finish against it, never observing a mix.
+func (s *server) handleCorpusRegister(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req corpusRequest
+	if err := decodeStrict(http.MaxBytesReader(w, r.Body, s.corpusBodyLimit()), &req); err != nil {
+		writeRequestError(w, err)
+		return
+	}
+	shards := req.Shards
+	if shards == 0 {
+		shards = s.cfg.shards
+	}
+	docs := make([][]byte, len(req.Docs))
+	for i, d := range req.Docs {
+		docs[i] = []byte(d)
+	}
+	snap, err := s.corpora.Register(name, docs, shards)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, snapInfo(snap, false))
+}
+
+// corpusBodyLimit bounds the registration body: the registry's byte limit
+// plus headroom for JSON quoting/escaping and the envelope.
+func (s *server) corpusBodyLimit() int64 {
+	l := s.cfg.corpusLimits.MaxBytes
+	if l <= 0 {
+		l = corpus.DefaultMaxBytes
+	}
+	return 2*l + 4096
+}
+
+func (s *server) handleCorpusInfo(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.corpora.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no corpus registered as %q", r.PathValue("name")))
+		return
+	}
+	writeJSON(w, http.StatusOK, snapInfo(snap, true))
+}
+
+func (s *server) handleCorpusDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	gen, ok := s.corpora.Delete(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no corpus registered as %q", name))
+		return
+	}
+	// The tombstone generation: a later re-register of this name will
+	// observe a strictly larger generation than anything served before.
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "generation": gen, "deleted": true})
+}
+
+func (s *server) handleCorpusList(w http.ResponseWriter, r *http.Request) {
+	snaps := s.corpora.List()
+	infos := make([]corpusInfo, len(snaps))
+	for i, snap := range snaps {
+		infos[i] = snapInfo(snap, false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"corpora": infos})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -455,6 +699,15 @@ func (s *server) handleVars(w http.ResponseWriter, r *http.Request) {
 		"fallbacks":     pfFallbacks,
 	}))
 	emit("spannerd_queries", mustJSON(qs))
+
+	// Per-corpus, per-shard gauges: docs/bytes owned and matches served,
+	// for the current generation of each registered corpus.
+	snaps := s.corpora.List()
+	cs := make([]corpusInfo, len(snaps))
+	for i, snap := range snaps {
+		cs[i] = snapInfo(snap, true)
+	}
+	emit("spannerd_corpora", mustJSON(cs))
 	b.WriteString("\n}\n")
 	io.WriteString(w, b.String())
 }

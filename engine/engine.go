@@ -40,7 +40,9 @@ type Match = spanner.Match
 
 // Engine is a reusable batch evaluator for one compiled spanner. It is
 // immutable after New and safe for concurrent use; independent batches may
-// Run at the same time.
+// Run at the same time. That is what lets the cluster scatter layer share
+// one Engine across all shards of a corpus — one ProcessContext per shard,
+// concurrently — instead of building per-shard evaluator state.
 type Engine struct {
 	s       *spanner.Spanner
 	workers int

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -718,4 +719,51 @@ func TestProcessContextEmittedAccounting(t *testing.T) {
 			t.Fatalf("emit-stop batch: emitted = %d, err = %v; want 7, nil", emitted, err)
 		}
 	}
+}
+
+// TestConcurrentBatchesShareOneEngine pins the shard-local-reuse contract
+// the cluster scatter layer leans on: one Engine instance (immutable after
+// New) may run many ProcessContext batches concurrently — one per corpus
+// shard — each producing its own exact serial-order stream. Run under
+// -race in CI this is the concurrency pin for sharing the engine (and its
+// compiled spanner) across shard goroutines.
+func TestConcurrentBatchesShareOneEngine(t *testing.T) {
+	forceProcs(t, 8)
+	s := spanner.MustCompile(gen.Figure1Pattern(), spanner.WithLazy())
+	eng := engine.New(s, engine.Workers(2))
+
+	const shards = 6
+	batches := make([][][]byte, shards)
+	wants := make([][]string, shards)
+	for k := range batches {
+		batches[k] = batch(20 + k)
+		wants[k] = serialTrace(s, batches[k])
+	}
+
+	var wg sync.WaitGroup
+	for k := 0; k < shards; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			docs := batches[k]
+			var got []string
+			emitted, err := eng.ProcessContext(context.Background(), len(docs),
+				func(i engine.DocID) ([]byte, error) { return docs[i], nil },
+				func(i engine.DocID, ev *spanner.Evaluation, e error) bool {
+					ev.Enumerate(func(m *spanner.Match) bool {
+						got = append(got, fmt.Sprintf("%d:%s", i, m.Key()))
+						return true
+					})
+					return true
+				})
+			if err != nil || emitted != len(docs) {
+				t.Errorf("shard %d: emitted %d of %d, err %v", k, emitted, len(docs), err)
+				return
+			}
+			if fmt.Sprint(got) != fmt.Sprint(wants[k]) {
+				t.Errorf("shard %d: concurrent batch diverges from serial", k)
+			}
+		}(k)
+	}
+	wg.Wait()
 }

@@ -30,10 +30,12 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", "http://127.0.0.1:8080", "spannerd base URL")
-		n     = flag.Int("n", 300, "total requests")
-		c     = flag.Int("c", 8, "concurrent clients")
-		docKB = flag.Int("doc-kb", 16, "approximate document size per request, KiB")
+		addr       = flag.String("addr", "http://127.0.0.1:8080", "spannerd base URL")
+		n          = flag.Int("n", 300, "total requests")
+		c          = flag.Int("c", 8, "concurrent clients")
+		docKB      = flag.Int("doc-kb", 16, "approximate document size per request, KiB")
+		corpusDocs = flag.Int("corpus-docs", 64, "documents in the corpus phase (0 disables it)")
+		shards     = flag.Int("shards", 8, "shard count for the corpus phase")
 	)
 	flag.Parse()
 
@@ -112,8 +114,134 @@ func main() {
 		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
 	printCacheVars(client, *addr)
 
-	if failed.Load() > 0 {
+	corpusFailed := int64(0)
+	if *corpusDocs > 0 {
+		corpusFailed = corpusPhase(client, *addr, *corpusDocs, *shards, *n/3, *c)
+	}
+
+	if failed.Load()+corpusFailed > 0 {
 		os.Exit(1)
+	}
+}
+
+// corpusPhase registers a sharded corpus and drives mixed scatter/gather
+// enumerate/count traffic against it, then prints the per-shard counter
+// summary from /debug/vars. Returns the number of failed requests.
+func corpusPhase(client *http.Client, addr string, docs, shards, n, c int) int64 {
+	corpus := make([]string, docs)
+	for i := range corpus {
+		corpus[i] = syntheticDoc(4 << 10)
+	}
+	reg := mustBody(map[string]any{"docs": corpus, "shards": shards})
+	resp, err := client.Post(addr+"/v1/corpus/smoke", "application/json", bytes.NewReader(reg))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadsmoke: corpus register: %v\n", err)
+		return 1
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "loadsmoke: corpus register: status %d\n", resp.StatusCode)
+		return 1
+	}
+
+	enumBody := mustBody(map[string]any{
+		"query": `/.*!name{[A-Z][a-z]+} <!email{[a-z0-9]+@[a-z0-9.]+}>.*/`,
+		"limit": 20,
+	})
+	countBody := mustBody(map[string]any{
+		"query": `/.*!name{[A-Z][a-z]+} <!email{[a-z0-9]+@[a-z0-9.]+}>.*/`,
+	})
+
+	var (
+		failed  atomic.Int64
+		mu      sync.Mutex
+		lats    []time.Duration
+		jobs    = make(chan int, n)
+		wg      sync.WaitGroup
+		started = time.Now()
+	)
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				path, body := "/v1/enumerate?corpus=smoke", enumBody
+				if i%3 == 2 {
+					path, body = "/v1/count?corpus=smoke", countBody
+				}
+				t0 := time.Now()
+				resp, err := client.Post(addr+path, "application/json", bytes.NewReader(body))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failed.Add(1)
+					continue
+				}
+				d := time.Since(t0)
+				mu.Lock()
+				lats = append(lats, d)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(started)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		return lats[int(p*float64(len(lats)-1))]
+	}
+	fmt.Printf("loadsmoke[corpus]: %d requests (%d failed) over %d docs x %d shards, wall %.2fs, %.1f req/s\n",
+		n, failed.Load(), docs, shards, wall.Seconds(), float64(len(lats))/wall.Seconds())
+	fmt.Printf("loadsmoke[corpus]: latency p50 %s  p90 %s  p99 %s  max %s\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+	printCorpusVars(client, addr)
+	return failed.Load()
+}
+
+// printCorpusVars surfaces the per-shard gauges after the corpus phase: a
+// healthy smoke shows every shard owning documents and serving matches.
+func printCorpusVars(client *http.Client, addr string) {
+	resp, err := client.Get(addr + "/debug/vars")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		Corpora []struct {
+			Name       string `json:"name"`
+			Generation uint64 `json:"generation"`
+			Docs       int    `json:"docs"`
+			ShardInfo  []struct {
+				Shard         int   `json:"shard"`
+				Docs          int   `json:"docs"`
+				Bytes         int64 `json:"bytes"`
+				MatchesServed int64 `json:"matches_served"`
+			} `json:"shard_info"`
+		} `json:"spannerd_corpora"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&vars) != nil {
+		return
+	}
+	for _, c := range vars.Corpora {
+		fmt.Printf("loadsmoke[corpus]: %s gen=%d docs=%d shards:", c.Name, c.Generation, c.Docs)
+		for _, sh := range c.ShardInfo {
+			fmt.Printf(" [%d: %d docs, %d B, %d served]", sh.Shard, sh.Docs, sh.Bytes, sh.MatchesServed)
+		}
+		fmt.Println()
 	}
 }
 
