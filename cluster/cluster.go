@@ -119,6 +119,7 @@ func (c *Coordinator) ProcessContext(ctx context.Context, emit func(doc int, ev 
 	snap := c.snap
 	n, k := snap.Len(), snap.Shards()
 	g := Gather{Docs: n, PerShard: make([]ShardGather, k)}
+	//spanlint:ignore ctxloop bounded accounting over the in-memory shard map, microsecond-scale
 	for s := 0; s < k; s++ {
 		g.PerShard[s].Docs = len(snap.ShardDocs(s))
 	}

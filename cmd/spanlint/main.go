@@ -1,0 +1,42 @@
+// Command spanlint is the repo's static-analysis gate: a multichecker
+// bundling the analyzers that mechanically enforce the concurrency and
+// resource contracts the documentation only promises — Release pairing
+// for preprocessed evaluations, atomics-only counter fields, cancelable
+// loops in ...Context methods, spannerd's strict JSON decoding, the
+// lock-free Stats path — plus conservative shadow and nilness checks.
+//
+// It runs two ways:
+//
+//	go vet -vettool=$(command -v spanlint) ./...   # as a vet tool (CI)
+//	spanlint ./...                                 # standalone
+//
+// A diagnosis can be suppressed at the site with a justification:
+//
+//	//spanlint:ignore ctxloop bounded by shard count, finishes in microseconds
+//
+// The justification is mandatory; a bare ignore does not parse and the
+// diagnostic stands.
+package main
+
+import (
+	"spanners/internal/analysis"
+	"spanners/internal/analyzers/atomicfield"
+	"spanners/internal/analyzers/ctxloop"
+	"spanners/internal/analyzers/nilness"
+	"spanners/internal/analyzers/nolockstats"
+	"spanners/internal/analyzers/releasepair"
+	"spanners/internal/analyzers/shadow"
+	"spanners/internal/analyzers/strictdecode"
+)
+
+func main() {
+	analysis.Main(
+		releasepair.Analyzer,
+		atomicfield.Analyzer,
+		ctxloop.Analyzer,
+		strictdecode.Analyzer,
+		nolockstats.Analyzer,
+		shadow.Analyzer,
+		nilness.Analyzer,
+	)
+}

@@ -1,0 +1,77 @@
+package main_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// buildSpanlint compiles the multichecker once per test binary.
+func buildSpanlint(t *testing.T) string {
+	t.Helper()
+	exe := filepath.Join(t.TempDir(), "spanlint")
+	cmd := exec.Command("go", "build", "-o", exe, "spanners/cmd/spanlint")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building spanlint: %v\n%s", err, out)
+	}
+	return exe
+}
+
+// TestSmoke exercises the three faces of the binary: the cmd/go vet-tool
+// protocol handshakes (-V=full and -flags), and a standalone run over a
+// real package of this repo, which must come back clean.
+func TestSmoke(t *testing.T) {
+	exe := buildSpanlint(t)
+
+	t.Run("version", func(t *testing.T) {
+		out, err := exec.Command(exe, "-V=full").Output()
+		if err != nil {
+			t.Fatalf("-V=full: %v", err)
+		}
+		// cmd/go parses `<name> version <fingerprint>` and caches on the
+		// fingerprint, so it must change when the binary does.
+		if !regexp.MustCompile(`^spanlint version [0-9a-f]+\n$`).Match(out) {
+			t.Fatalf("-V=full output %q does not match the vet protocol shape", out)
+		}
+	})
+
+	t.Run("flags", func(t *testing.T) {
+		out, err := exec.Command(exe, "-flags").Output()
+		if err != nil {
+			t.Fatalf("-flags: %v", err)
+		}
+		var flags []struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		if err := json.Unmarshal(out, &flags); err != nil {
+			t.Fatalf("-flags output is not the JSON cmd/go expects: %v\n%s", err, out)
+		}
+		names := make(map[string]bool)
+		for _, f := range flags {
+			names[f.Name] = true
+		}
+		for _, want := range []string{"releasepair", "atomicfield", "ctxloop", "strictdecode", "nolockstats", "shadow", "nilness"} {
+			if !names[want] {
+				t.Errorf("-flags is missing analyzer %q", want)
+			}
+		}
+	})
+
+	t.Run("standalone", func(t *testing.T) {
+		cmd := exec.Command(exe, "spanners/corpus")
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("standalone run over spanners/corpus failed: %v\n%s", err, stderr.String())
+		}
+		if s := strings.TrimSpace(stderr.String()); s != "" {
+			t.Errorf("expected a clean run, got diagnostics:\n%s", s)
+		}
+	})
+}

@@ -88,7 +88,7 @@ type Snapshot struct {
 	owner      []int   // document ordinal -> shard
 	shards     [][]int // shard -> ascending document ordinals
 	shardBytes []int64
-	served     []atomic.Int64 // matches served per shard, this generation
+	served     []atomic.Int64 // matches served per shard, this generation; spanlint:atomic
 }
 
 // NewSnapshot partitions docs into shards and returns a free-standing

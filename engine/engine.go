@@ -178,6 +178,7 @@ func (e *Engine) ProcessContext(ctx context.Context, n int, load func(DocID) ([]
 		err error
 	}
 	jobs := make(chan int, n)
+	//spanlint:ignore ctxloop jobs is buffered to exactly n, so every send completes without blocking
 	for i := 0; i < n; i++ {
 		jobs <- i
 	}

@@ -1,0 +1,76 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis framework: the Analyzer/Pass/Diagnostic
+// vocabulary, a package loader driven by `go list -export`, the `go vet
+// -vettool` unitchecker protocol, and an analysistest-style fixture
+// runner. The repo's build environment is hermetic (no module proxy), so
+// rather than depend on x/tools the subset this module actually needs is
+// reimplemented here against the standard library; analyzer code written
+// for this package ports to x/tools by changing one import path.
+//
+// Deliberate omissions versus x/tools: no Facts (every analyzer in
+// internal/analyzers is package-local), no SSA, and no suggested fixes.
+//
+// Diagnostics can be suppressed at the site with a comment on the same
+// line or the line above:
+//
+//	//spanlint:ignore ctxloop bounded per-shard accounting loop
+//
+// The analyzer name (a comma list is accepted) and a non-empty
+// justification are both required; a bare ignore suppresses nothing.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one static check. Its Run function inspects a single
+// type-checked package and reports diagnostics through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, enable flags, and
+	// //spanlint:ignore comments. It must be a valid Go identifier.
+	Name string
+	// Doc is the help text: one summary line, then detail.
+	Doc string
+	// Requires lists analyzers whose results this one consumes via
+	// Pass.ResultOf. Requirements run first on the same package.
+	Requires []*Analyzer
+	// Run executes the check. The returned value is exposed to dependent
+	// analyzers as Pass.ResultOf[this]; analyzers without dependents
+	// return nil.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass is one (analyzer, package) execution: the syntax and type
+// information of the package under analysis plus the Report sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// ResultOf holds the results of the analyzers named in Requires.
+	ResultOf map[*Analyzer]any
+
+	report func(Diagnostic)
+}
+
+// Report emits one diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf emits a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	// Analyzer is filled in by the runner; Run functions leave it empty.
+	Analyzer string
+}

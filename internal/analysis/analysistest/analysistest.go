@@ -1,0 +1,214 @@
+// Package analysistest runs an analyzer over a fixture package under
+// testdata/src and checks its diagnostics against // want comments, in
+// the manner of golang.org/x/tools/go/analysis/analysistest:
+//
+//	x := leak()  // want `not released on every path`
+//
+// A want comment holds one or more Go string literals (quoted or
+// backquoted), each a regular expression that must match the message of a
+// distinct diagnostic reported on that line. Diagnostics with no matching
+// want, and wants with no matching diagnostic, fail the test. Fixture
+// packages may import the standard library only; imports resolve through
+// the build cache's export data (`go list -export`), so fixtures
+// type-check hermetically.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"spanners/internal/analysis"
+)
+
+// Run loads testdata/src/<pkgdir> (relative to the test's working
+// directory), runs the analyzer, and reports any mismatch against the
+// fixture's want comments as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, pkgdir string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkgdir)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", dir)
+	}
+
+	pkg, err := analysis.TypeCheck(fset, pkgdir, files, stdImporter(fset, t))
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	if pkg.IllTyped {
+		// Fixtures must compile: an ill-typed fixture usually means the
+		// test checks nothing.
+		t.Errorf("fixture %s has type errors", pkgdir)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, ok := parseWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, p, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	var leftover []string
+	for k, res := range wants {
+		for _, re := range res {
+			leftover = append(leftover, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, re))
+		}
+	}
+	sort.Strings(leftover)
+	for _, msg := range leftover {
+		t.Errorf("%s", msg)
+	}
+}
+
+// parseWant extracts the expectation patterns from a comment: the string
+// literals following a "want" marker. ok is false when the comment is not
+// a want comment at all.
+func parseWant(comment string) (patterns []string, ok bool) {
+	text := strings.TrimPrefix(strings.TrimPrefix(comment, "//"), "/*")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "want ") {
+		return nil, false
+	}
+	rest := strings.TrimSpace(text[len("want "):])
+	for rest != "" {
+		var lit string
+		switch rest[0] {
+		case '"':
+			end := 1
+			for end < len(rest) {
+				if rest[end] == '\\' {
+					end += 2
+					continue
+				}
+				if rest[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(rest) {
+				return nil, false
+			}
+			var err error
+			lit, err = strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, false
+			}
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, false
+			}
+			lit = rest[1 : 1+end]
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			return nil, false
+		}
+		patterns = append(patterns, lit)
+	}
+	return patterns, true
+}
+
+var (
+	stdExportsOnce sync.Once
+	stdExports     map[string]string
+	stdExportsErr  error
+)
+
+// stdImporter resolves standard-library imports to compiler export data,
+// produced (once per process) by `go list -export std` — which compiles
+// into the local build cache, needing no network or pre-installed
+// archives.
+func stdImporter(fset *token.FileSet, t *testing.T) types.Importer {
+	t.Helper()
+	stdExportsOnce.Do(func() {
+		out, err := exec.Command("go", "list", "-export", "-f", "{{.ImportPath}}\t{{.Export}}", "std").Output()
+		if err != nil {
+			stdExportsErr = fmt.Errorf("go list -export std: %v", err)
+			return
+		}
+		stdExports = make(map[string]string)
+		for _, line := range strings.Split(string(out), "\n") {
+			path, file, ok := strings.Cut(line, "\t")
+			if ok && file != "" {
+				stdExports[path] = file
+			}
+		}
+	})
+	if stdExportsErr != nil {
+		t.Fatal(stdExportsErr)
+	}
+	return analysis.ExportImporter(fset, func(path string) (string, error) {
+		f, ok := stdExports[path]
+		if !ok {
+			return "", fmt.Errorf("fixture imports %q: not in the standard library (fixtures may import std only)", path)
+		}
+		return f, nil
+	})
+}

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// IllTyped records that type checking reported errors; analyzers
+	// still run (the syntax and partial type information are usable) but
+	// their reports on such a package are best-effort.
+	IllTyped bool
+}
+
+// Run executes the analyzers (and, first, their transitive Requires) over
+// the package and returns the surviving diagnostics in file/line order,
+// with site-level //spanlint:ignore suppressions already applied.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	results := make(map[*Analyzer]any)
+	ran := make(map[*Analyzer]bool)
+
+	var exec func(a *Analyzer) error
+	exec = func(a *Analyzer) error {
+		if ran[a] {
+			return nil
+		}
+		ran[a] = true // pre-mark: a Requires cycle is a programming error, not a hang
+		for _, req := range a.Requires {
+			if err := exec(req); err != nil {
+				return err
+			}
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			ResultOf:  results,
+			report: func(d Diagnostic) {
+				d.Analyzer = a.Name
+				diags = append(diags, d)
+			},
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Types.Path(), err)
+		}
+		results[a] = res
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := exec(a); err != nil {
+			return nil, err
+		}
+	}
+
+	diags = suppress(pkg, diags)
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return diags, nil
+}
+
+// ignoreRE matches a suppression comment: the analyzer names (comma list)
+// and a mandatory justification.
+var ignoreRE = regexp.MustCompile(`spanlint:ignore\s+([A-Za-z_][A-Za-z0-9_,]*)\s+(\S.*)`)
+
+// suppress drops diagnostics whose site carries a matching
+// //spanlint:ignore comment on the same line or the line directly above.
+func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	// ignores[file][line] = analyzer names suppressed at that line.
+	ignores := make(map[string]map[int][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := ignores[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					ignores[pos.Filename] = byLine
+				}
+				names := strings.Split(m[1], ",")
+				// The comment shields its own line and the next: a
+				// comment above a statement names the statement below it.
+				byLine[pos.Line] = append(byLine[pos.Line], names...)
+				byLine[pos.Line+1] = append(byLine[pos.Line+1], names...)
+			}
+		}
+	}
+	if len(ignores) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		suppressed := false
+		for _, name := range ignores[pos.Filename][pos.Line] {
+			if name == d.Analyzer {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// WalkStack traverses every file of the pass in depth-first order,
+// calling fn with each node and the stack of its ancestors (outermost
+// first, not including n itself). Returning false skips n's children.
+// It is the parent-aware complement of ast.Inspect that several
+// analyzers need to classify how an expression is used.
+func WalkStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			descend := fn(n, stack)
+			if !descend {
+				// ast.Inspect will not send the matching nil, so do not push.
+				return false
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}

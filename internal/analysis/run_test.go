@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// checkPackage type-checks a single in-memory file with no imports.
+func checkPackage(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := TypeCheck(fset, "p", []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// reportCalls flags every function declaration; the tests then steer
+// suppression comments at the reports.
+var reportCalls = &Analyzer{
+	Name: "reportcalls",
+	Doc:  "test analyzer: flags every function declaration",
+	Run: func(pass *Pass) (any, error) {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+func TestSuppression(t *testing.T) {
+	pkg := checkPackage(t, `package p
+
+func a() {}
+
+//spanlint:ignore reportcalls justified: exercising same-name suppression
+func b() {}
+
+//spanlint:ignore otherlint justification aimed at a different analyzer
+func c() {}
+
+//spanlint:ignore reportcalls,otherlint a comma list covers both names
+func d() {}
+
+//spanlint:ignore reportcalls
+func e() {}
+`)
+	diags, err := Run(pkg, []*Analyzer{reportCalls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Message)
+	}
+	// b is suppressed by name, d by the comma list; c's ignore names a
+	// different analyzer; e's ignore has no justification, so it does not
+	// parse and the diagnostic stands.
+	want := []string{"func a", "func c", "func e"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("diagnostics = %v, want %v", got, want)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "reportcalls" {
+			t.Errorf("diagnostic carries analyzer %q, want reportcalls", d.Analyzer)
+		}
+	}
+}
+
+func TestSuppressSameLine(t *testing.T) {
+	pkg := checkPackage(t, `package p
+
+func a() {} //spanlint:ignore reportcalls same-line suppression
+`)
+	diags, err := Run(pkg, []*Analyzer{reportCalls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("expected the same-line ignore to suppress, got %v", diags)
+	}
+}
+
+func TestRequiresOrder(t *testing.T) {
+	var order []string
+	base := &Analyzer{
+		Name: "base",
+		Doc:  "records that it ran first",
+		Run: func(pass *Pass) (any, error) {
+			order = append(order, "base")
+			return 42, nil
+		},
+	}
+	dep := &Analyzer{
+		Name:     "dep",
+		Doc:      "consumes base's result",
+		Requires: []*Analyzer{base},
+		Run: func(pass *Pass) (any, error) {
+			order = append(order, "dep")
+			if got := pass.ResultOf[base]; got != 42 {
+				t.Errorf("ResultOf[base] = %v, want 42", got)
+			}
+			return nil, nil
+		},
+	}
+	pkg := checkPackage(t, `package p`)
+	if _, err := Run(pkg, []*Analyzer{dep}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "base,dep" {
+		t.Errorf("execution order = %v, want base before dep", order)
+	}
+}

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig mirrors the configuration file cmd/go writes for each package
+// when driving a vet tool (see buildVetConfig in cmd/go/internal/work);
+// only the fields this checker consumes are declared.
+type vetConfig struct {
+	ID           string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of a multichecker binary. It speaks both
+// dialects a checker needs:
+//
+//   - the cmd/go vet-tool protocol — `-V=full` (tool fingerprint),
+//     `-flags` (supported flags as JSON), and a single *.cfg argument
+//     naming a package to check, diagnostics to stderr with exit status 2
+//     — which is what `go vet -vettool=$(…)` drives;
+//   - a standalone mode where the arguments are package patterns
+//     (`spanlint ./...`), loaded via `go list -export`.
+//
+// Each analyzer contributes a -name boolean flag; naming any analyzer
+// explicitly runs only the named ones, the default is all of them.
+func Main(analyzers ...*Analyzer) {
+	fs := flag.NewFlagSet(filepath.Base(os.Args[0]), flag.ExitOnError)
+	versionFlag := fs.String("V", "", "print version and exit (cmd/go protocol)")
+	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON (cmd/go protocol)")
+	selected := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		selected[a.Name] = fs.Bool(a.Name, false, doc)
+	}
+	fs.Parse(os.Args[1:])
+
+	if *versionFlag != "" {
+		// cmd/go fingerprints the tool to key its vet result cache; hash
+		// the binary so a rebuilt spanlint invalidates stale results.
+		fmt.Printf("%s version %s\n", filepath.Base(os.Args[0]), executableHash())
+		os.Exit(0)
+	}
+	if *flagsFlag {
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var out []jsonFlag
+		fs.VisitAll(func(f *flag.Flag) {
+			if f.Name == "V" || f.Name == "flags" {
+				return
+			}
+			out = append(out, jsonFlag{Name: f.Name, Bool: true, Usage: f.Usage})
+		})
+		data, err := json.Marshal(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(data)
+		os.Exit(0)
+	}
+
+	enabled := analyzers
+	if any := false; true {
+		for _, b := range selected {
+			any = any || *b
+		}
+		if any {
+			enabled = nil
+			for _, a := range analyzers {
+				if *selected[a.Name] {
+					enabled = append(enabled, a)
+				}
+			}
+		}
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0], enabled))
+	}
+	if len(args) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: %s [-analyzer...] packages...\n", filepath.Base(os.Args[0]))
+		os.Exit(2)
+	}
+	os.Exit(runStandalone(args, enabled))
+}
+
+// runUnit checks the single package described by a cmd/go vet config.
+func runUnit(cfgFile string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: parsing vet config: %v\n", cfgFile, err)
+		return 1
+	}
+	// Dependency packages are scheduled by cmd/go only for their facts
+	// (VetxOnly); this checker keeps no facts, so acknowledge and return.
+	if cfg.VetxOnly {
+		writeVetx(cfg.VetxOutput)
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	imp := ExportImporter(fset, func(path string) (string, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return "", fmt.Errorf("no export data for %q", path)
+		}
+		return f, nil
+	})
+	pkg, err := TypeCheck(fset, cfg.ImportPath, files, imp)
+	if err != nil || pkg.IllTyped {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg.VetxOutput)
+			return 0
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	diags, err := Run(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	writeVetx(cfg.VetxOutput)
+	if len(diags) == 0 {
+		return 0
+	}
+	printDiags(fset, diags)
+	return 2
+}
+
+// runStandalone loads the patterns itself and checks every matched package.
+func runStandalone(patterns []string, analyzers []*Analyzer) int {
+	pkgs, err := Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if len(diags) > 0 {
+			printDiags(pkg.Fset, diags)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+func printDiags(fset *token.FileSet, diags []Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+}
+
+// writeVetx writes the (empty) per-package fact file cmd/go expects a vet
+// tool to produce, so its result caching works across runs.
+func writeVetx(path string) {
+	if path != "" {
+		_ = os.WriteFile(path, []byte{}, 0o666)
+	}
+}
+
+// executableHash fingerprints the running binary; "unknown" fallbacks keep
+// the protocol line well-formed even if the executable is unreadable.
+func executableHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}

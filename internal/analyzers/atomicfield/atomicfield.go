@@ -1,0 +1,184 @@
+// Package atomicfield enforces the repo's lock-free counter contract:
+// a struct field whose declaration carries a "spanlint:atomic" marker
+// comment may be touched only through sync/atomic — method calls on
+// sync/atomic value types (atomic.Int64 and friends), or its address
+// passed to a sync/atomic function (atomic.AddInt64(&s.n, 1)). Plain
+// reads, writes, increments, or copies of a marked field are diagnosed:
+// they compile fine and usually even pass the race detector in small
+// tests, which is exactly why the contract needs mechanical enforcement.
+//
+// The marker is checked package-locally, which is complete for the
+// unexported fields it is meant for (eva.Lazy's discovered counter, the
+// corpus Served gauges, spannerd's in-flight gauge).
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"spanners/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "check that spanlint:atomic fields go through sync/atomic\n\n" +
+		"Fields whose declaration comment contains spanlint:atomic may only\n" +
+		"be accessed via sync/atomic method calls or by passing their\n" +
+		"address to a sync/atomic function.",
+	Run: run,
+}
+
+const marker = "spanlint:atomic"
+
+func run(pass *analysis.Pass) (any, error) {
+	marked := markedFields(pass)
+	if len(marked) == 0 {
+		return nil, nil
+	}
+
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		v, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if v == nil || !marked[v] {
+			return true
+		}
+		if !allowedUse(pass, sel, stack) {
+			pass.Reportf(sel.Pos(), "field %s is marked %s; access it only through sync/atomic operations", v.Name(), marker)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// markedFields collects the package's struct fields annotated with the
+// marker in their doc or line comment.
+func markedFields(pass *analysis.Pass) map[*types.Var]bool {
+	marked := make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				text := ""
+				if field.Doc != nil {
+					text += field.Doc.Text()
+				}
+				if field.Comment != nil {
+					text += field.Comment.Text()
+				}
+				if !strings.Contains(text, marker) {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						marked[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return marked
+}
+
+// allowedUse classifies how a marked-field selector is used, climbing the
+// ancestor chain: through parens and indexing, a use is legal when it
+// ends in a sync/atomic method call, its address feeds a sync/atomic
+// function, or it is measured (len/cap, keys-only range) without the
+// value escaping.
+func allowedUse(pass *analysis.Pass, sel *ast.SelectorExpr, stack []ast.Node) bool {
+	var cur ast.Node = sel
+	i := len(stack) - 1
+
+	// Climb wrappers that do not themselves read the value: parens, and
+	// indexing into a slice/array of atomics.
+	for ; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			cur = p
+			continue
+		case *ast.IndexExpr:
+			if p.X == cur {
+				cur = p
+				continue
+			}
+		}
+		break
+	}
+	if i < 0 {
+		return false
+	}
+
+	switch p := stack[i].(type) {
+	case *ast.SelectorExpr:
+		// s.ctr.Add(1): a method selected from the field value is fine iff
+		// it is a sync/atomic method and is actually called.
+		if p.X == cur && isAtomicMethod(pass, p.Sel) {
+			if i > 0 {
+				if call, ok := stack[i-1].(*ast.CallExpr); ok && call.Fun == p {
+					return true
+				}
+			}
+		}
+	case *ast.UnaryExpr:
+		// &s.n handed to atomic.AddInt64/LoadInt64/...: climb parens to
+		// the call the address feeds.
+		if p.Op.String() == "&" && p.X == cur {
+			addr := ast.Node(p)
+			for j := i - 1; j >= 0; j-- {
+				switch q := stack[j].(type) {
+				case *ast.ParenExpr:
+					addr = q
+					continue
+				case *ast.CallExpr:
+					if isAtomicFunc(pass, q.Fun) {
+						for _, arg := range q.Args {
+							if arg == addr {
+								return true
+							}
+						}
+					}
+				}
+				break
+			}
+		}
+	case *ast.CallExpr:
+		// len(s.served) / cap(s.served): measuring the container is fine.
+		if id, ok := p.Fun.(*ast.Ident); ok {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && (id.Name == "len" || id.Name == "cap") {
+				return true
+			}
+		}
+	case *ast.RangeStmt:
+		// for i := range s.served — indices only, no atomic values copied.
+		if p.X == cur && p.Value == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isAtomicMethod reports whether the selected identifier resolves to a
+// method declared in sync/atomic (Add/Load/Store/Swap/CompareAndSwap on
+// the atomic value types).
+func isAtomicMethod(pass *analysis.Pass, sel *ast.Ident) bool {
+	fn, _ := pass.TypesInfo.Uses[sel].(*types.Func)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// isAtomicFunc reports whether a call target is a top-level sync/atomic
+// function (atomic.AddInt64 etc.).
+func isAtomicFunc(pass *analysis.Pass, fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,46 @@
+// Fixture for the atomicfield analyzer.
+package atomicfield
+
+import "sync/atomic"
+
+type server struct {
+	// inflight gauges the requests currently being served.
+	// spanlint:atomic
+	inflight atomic.Int64
+
+	// n is an old-style counter driven through atomic functions.
+	n int64 // spanlint:atomic
+
+	served []atomic.Int64 // spanlint:atomic
+
+	plain int64 // unmarked: free-form access is fine
+}
+
+func good(s *server) {
+	s.inflight.Add(1)
+	_ = s.inflight.Load()
+	atomic.AddInt64(&s.n, 1)
+	_ = atomic.LoadInt64(&s.n)
+	s.served[3].Add(1)
+	_ = s.served[0].Load()
+	_ = len(s.served)
+	for i := range s.served {
+		s.served[i].Store(0)
+	}
+	s.plain++
+	s.plain = 7
+}
+
+func bad(s *server) {
+	v := s.inflight              // want `field inflight is marked spanlint:atomic`
+	s.n++                        // want `field n is marked spanlint:atomic`
+	s.n = 3                      // want `field n is marked spanlint:atomic`
+	x := s.n                     // want `field n is marked spanlint:atomic`
+	p := &s.n                    // want `field n is marked spanlint:atomic`
+	for _, g := range s.served { // want `field served is marked spanlint:atomic`
+		_ = g
+	}
+	_ = v
+	_ = x
+	_ = p
+}

@@ -1,0 +1,224 @@
+// Package ctxloop enforces the repo's cancellation contract in two
+// parts.
+//
+// First, an exported method or function whose name ends in "Context"
+// advertises cooperative cancellation; any loop in its body that does
+// real work (calls, channel operations, spawned goroutines) must be able
+// to observe the context. The mechanical proxy: the loop's subtree must
+// reference some context.Context-typed value — the parameter itself, a
+// derived context, or a context handed to a callee. Pure accounting
+// loops (arithmetic, appends, len) are exempt: they terminate promptly
+// and checking ctx there is noise.
+//
+// Second, library packages must not mint their own root contexts:
+// context.Background()/TODO() calls outside package main and _test.go
+// files are diagnosed, with one sanctioned idiom — the Foo/FooContext
+// wrapper pair, where Foo's body is exactly a call to FooContext with a
+// fresh Background. Anything else silently severs the caller's
+// cancellation chain.
+package ctxloop
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"spanners/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc: "check that exported ...Context methods keep loops cancelable\n\n" +
+		"Loops doing real work inside exported ...Context functions must\n" +
+		"reference a context value, and library packages must not call\n" +
+		"context.Background outside the Foo/FooContext wrapper idiom.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	checkLoops(pass)
+	checkBackground(pass)
+	return nil, nil
+}
+
+func checkLoops(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if !ast.IsExported(name) || !strings.HasSuffix(name, "Context") {
+				continue
+			}
+			if !hasContextParam(pass, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				work := false
+				switch n := n.(type) {
+				case *ast.ForStmt:
+					body = n.Body
+				case *ast.RangeStmt:
+					body = n.Body
+					// Ranging over a channel is itself a (blocking) receive.
+					if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+						if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+							work = true
+						}
+					}
+				default:
+					return true
+				}
+				if refsContext(pass, n) {
+					return true // this loop (or one nested in it) is ctx-aware
+				}
+				if work || doesWork(pass, body) {
+					pass.Reportf(n.Pos(), "loop in exported context method %s does not observe ctx; check ctx.Err/ctx.Done (or pass ctx to the work) so cancellation can interrupt it", name)
+					return false // one report per loop nest
+				}
+				return true
+			})
+		}
+	}
+}
+
+func hasContextParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if isContextType(pass.TypesInfo.Types[field.Type].Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// refsContext reports whether the subtree mentions any context-typed
+// variable or field — the parameter, a derived context, or a context
+// being threaded into a call.
+func refsContext(pass *analysis.Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && isContextType(v.Type()) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// doesWork reports whether a loop body does something a caller would
+// want to be able to cancel: a non-builtin call, a channel operation, or
+// a spawned goroutine. Pure accounting (arithmetic, len/append/copy) is
+// not work.
+func doesWork(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	work := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if work {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+			if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() {
+				return true // conversion, not a call
+			}
+			work = true
+		case *ast.SendStmt, *ast.GoStmt, *ast.SelectStmt:
+			work = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				work = true
+			}
+		}
+		return true
+	})
+	return work
+}
+
+// checkBackground diagnoses context.Background/TODO in library code.
+func checkBackground(pass *analysis.Pass) {
+	if pass.Pkg.Name() == "main" {
+		return
+	}
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if fn == nil {
+			return true
+		}
+		full := fn.FullName()
+		if full != "context.Background" && full != "context.TODO" {
+			return true
+		}
+		if strings.HasSuffix(pass.Fset.Position(call.Pos()).Filename, "_test.go") {
+			return true
+		}
+		if isWrapperUse(call, stack) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "library code must not call %s; accept a ctx parameter instead (the Foo/FooContext wrapper pair is the sanctioned exception)", full)
+		return true
+	})
+}
+
+// isWrapperUse recognizes the sanctioned idiom: inside func Foo, the
+// fresh root context is passed directly to a call of FooContext.
+func isWrapperUse(call *ast.CallExpr, stack []ast.Node) bool {
+	var enclosing *ast.FuncDecl
+	for _, n := range stack {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			enclosing = fd
+		}
+	}
+	if enclosing == nil {
+		return false
+	}
+	want := enclosing.Name.Name + "Context"
+	// The nearest enclosing call must be Foo's delegation to FooContext
+	// with our Background() among its arguments.
+	for i := len(stack) - 1; i >= 0; i-- {
+		outer, ok := stack[i].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		calleeName := ""
+		switch fun := outer.Fun.(type) {
+		case *ast.Ident:
+			calleeName = fun.Name
+		case *ast.SelectorExpr:
+			calleeName = fun.Sel.Name
+		}
+		return calleeName == want
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"spanners/internal/analysis/analysistest"
+	"spanners/internal/analyzers/ctxloop"
+)
+
+func TestCtxLoop(t *testing.T) {
+	analysistest.Run(t, ctxloop.Analyzer, "ctxloop")
+}

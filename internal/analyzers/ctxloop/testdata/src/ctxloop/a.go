@@ -1,0 +1,83 @@
+// Fixture for the ctxloop analyzer.
+package ctxloop
+
+import "context"
+
+type S struct{}
+
+func work()                    {}
+func feed(ctx context.Context) {}
+
+// ProcessContext: ctx-aware loop and a pure accounting loop, both clean.
+func (s *S) ProcessContext(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work()
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i // accounting only: exempt
+	}
+	_ = total
+	return nil
+}
+
+// ThreadContext: passing ctx to the work counts as observing it.
+func ThreadContext(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		feed(ctx)
+	}
+}
+
+// DerivedContext: a context derived from ctx also counts.
+func DerivedContext(ctx context.Context, n int) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for i := 0; i < n; i++ {
+		if sub.Err() != nil {
+			return sub.Err()
+		}
+		work()
+	}
+	return nil
+}
+
+// ScanContext: working loop that never consults ctx.
+func (s *S) ScanContext(ctx context.Context, n int) {
+	for i := 0; i < n; i++ { // want `loop in exported context method ScanContext does not observe ctx`
+		work()
+	}
+}
+
+// DrainContext: channel receive is cancelable work too.
+func DrainContext(ctx context.Context, ch chan int) int {
+	total := 0
+	for v := range ch { // want `loop in exported context method DrainContext does not observe ctx`
+		total += v
+	}
+	return total
+}
+
+// scanContext is unexported: not part of the advertised API.
+func (s *S) scanContext(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		work()
+	}
+}
+
+// Process is the sanctioned Background wrapper for ProcessContext.
+func (s *S) Process(n int) error {
+	return s.ProcessContext(context.Background(), n)
+}
+
+// rogue mints a root context outside the wrapper idiom.
+func rogue() context.Context {
+	return context.Background() // want `library code must not call context.Background`
+}
+
+// sneaky delegates to the wrong function: not the wrapper idiom.
+func sneaky(s *S, n int) error {
+	return s.ProcessContext(context.TODO(), n) // want `library code must not call context.TODO`
+}

@@ -1,0 +1,179 @@
+// Package nilness reports uses that are guaranteed to panic because
+// they sit on the arm of a nil check where the value is known nil: a
+// field access through a nil pointer, a call of a nil function value, a
+// method call on a nil interface, indexing a nil slice, or writing to a
+// nil map. It is a deliberately conservative, syntax-directed cousin of
+// golang.org/x/tools' SSA-based nilness pass: only simple `x == nil` /
+// `x != nil` conditions are tracked, the whole arm is skipped if x is
+// reassigned anywhere in it, and function literals are not entered —
+// so every report is a genuine dead-on-arrival path.
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"spanners/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc: "check for uses of provably nil values\n\n" +
+		"Flags dereferences, calls, indexing, and map writes on the arm of\n" +
+		"a nil check where the value is known to be nil.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			v, arm := nilArm(pass, ifs)
+			if v == nil || arm == nil || reassigns(pass, arm, v) {
+				return true
+			}
+			checkArm(pass, arm, v)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// nilArm matches `if x == nil` / `if x != nil` over a nilable variable
+// and returns the arm on which x is nil (the body for ==, the else
+// block for !=).
+func nilArm(pass *analysis.Pass, ifs *ast.IfStmt) (*types.Var, *ast.BlockStmt) {
+	be, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, nil
+	}
+	x := be.X
+	if isNilExpr(pass, x) {
+		x = be.Y
+	} else if !isNilExpr(pass, be.Y) {
+		return nil, nil
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+	if v == nil {
+		return nil, nil
+	}
+	if be.Op == token.EQL {
+		return v, ifs.Body
+	}
+	arm, _ := ifs.Else.(*ast.BlockStmt)
+	return v, arm
+}
+
+func isNilExpr(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNilObj
+}
+
+// reassigns reports whether the arm assigns to v or takes its address —
+// either invalidates the nil fact for the rest of the arm, so the whole
+// arm is skipped.
+func reassigns(pass *analysis.Pass, arm *ast.BlockStmt, v *types.Var) bool {
+	found := false
+	ast.Inspect(arm, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if isVar(pass, lhs, v) {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && isVar(pass, n.X, v) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isVar(pass, n.Key, v) || isVar(pass, n.Value, v) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isVar(pass *analysis.Pass, e ast.Expr, v *types.Var) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == v
+}
+
+// checkArm flags the uses of v inside the arm that must panic given
+// v == nil. Function literals are not entered: they may run after v has
+// been assigned elsewhere.
+func checkArm(pass *analysis.Pass, arm *ast.BlockStmt, v *types.Var) {
+	t := v.Type().Underlying()
+	_, isMap := t.(*types.Map)
+
+	// Map writes must be spotted from the enclosing assignment: an
+	// IndexExpr alone could be a (well-defined) nil map read.
+	if isMap {
+		ast.Inspect(arm, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok && isVar(pass, ix.X, v) {
+					pass.Reportf(ix.Pos(), "write to nil map: %s is nil on this branch", v.Name())
+				}
+			}
+			return true
+		})
+		return
+	}
+
+	ast.Inspect(arm, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectorExpr:
+			if !isVar(pass, n.X, v) {
+				return true
+			}
+			switch t.(type) {
+			case *types.Pointer:
+				if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					pass.Reportf(n.Pos(), "nil dereference: %s is nil on this branch", v.Name())
+				}
+			case *types.Interface:
+				pass.Reportf(n.Pos(), "method use on nil interface: %s is nil on this branch", v.Name())
+			}
+		case *ast.StarExpr:
+			if isVar(pass, n.X, v) {
+				pass.Reportf(n.Pos(), "nil dereference: %s is nil on this branch", v.Name())
+			}
+		case *ast.CallExpr:
+			if isVar(pass, n.Fun, v) {
+				if _, ok := t.(*types.Signature); ok {
+					pass.Reportf(n.Pos(), "call of nil function: %s is nil on this branch", v.Name())
+				}
+			}
+		case *ast.IndexExpr:
+			if isVar(pass, n.X, v) {
+				if _, ok := t.(*types.Slice); ok {
+					pass.Reportf(n.Pos(), "index of nil slice: %s is nil on this branch", v.Name())
+				}
+			}
+		}
+		return true
+	})
+}

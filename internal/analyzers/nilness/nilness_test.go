@@ -1,0 +1,12 @@
+package nilness_test
+
+import (
+	"testing"
+
+	"spanners/internal/analysis/analysistest"
+	"spanners/internal/analyzers/nilness"
+)
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, nilness.Analyzer, "nilness")
+}

@@ -1,0 +1,70 @@
+// Fixture for the nilness analyzer.
+package nilness
+
+type T struct{ f int }
+
+type iface interface{ M() int }
+
+func badPointer(p *T) int {
+	if p == nil {
+		return p.f // want `nil dereference: p is nil on this branch`
+	}
+	return p.f
+}
+
+func badFunc(fn func() int) int {
+	if fn != nil {
+		return fn()
+	} else {
+		return fn() // want `call of nil function: fn is nil on this branch`
+	}
+}
+
+func badMapWrite(m map[string]int) {
+	if m == nil {
+		m["k"] = 1 // want `write to nil map: m is nil on this branch`
+	}
+}
+
+func badSlice(xs []int) int {
+	if xs == nil {
+		return xs[0] // want `index of nil slice: xs is nil on this branch`
+	}
+	return xs[0]
+}
+
+func badIface(v iface) int {
+	if v == nil {
+		return v.M() // want `method use on nil interface: v is nil on this branch`
+	}
+	return v.M()
+}
+
+func badDeref(p *int) int {
+	if p == nil {
+		return *p // want `nil dereference: p is nil on this branch`
+	}
+	return *p
+}
+
+func okReassigned(p *T) int {
+	if p == nil {
+		p = &T{}
+		return p.f
+	}
+	return p.f
+}
+
+func okMapRead(m map[string]int) int {
+	if m == nil {
+		return m["k"] // nil map reads are well-defined
+	}
+	return m["k"]
+}
+
+func okClosure(p *T) func() int {
+	if p == nil {
+		return func() int { return p.f } // may run after p is set elsewhere
+	}
+	return func() int { return p.f }
+}

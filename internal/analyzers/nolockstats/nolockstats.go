@@ -1,0 +1,134 @@
+// Package nolockstats enforces the observability contract documented on
+// spanner.WithLazy: the Stats path must stay lock-free so that metrics
+// scrapes can never stall behind (or deadlock with) a long evaluation
+// holding the spanner mutex. A function whose doc comment carries
+// "spanlint:nolock" is checked against the package's mutex-acquiring
+// functions: any direct Lock/RLock, or any call into a same-package
+// function that (transitively) acquires a mutex, is diagnosed. The call
+// graph is package-local and computed to a fixpoint, so hiding the lock
+// one helper deeper does not evade the check.
+package nolockstats
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"spanners/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nolockstats",
+	Doc: "check that spanlint:nolock functions never acquire a mutex\n\n" +
+		"Functions marked spanlint:nolock (the lock-free Stats contract)\n" +
+		"must not call Lock/RLock directly or reach a same-package function\n" +
+		"that does.",
+	Run: run,
+}
+
+const marker = "spanlint:nolock"
+
+var lockMethods = map[string]bool{
+	"(*sync.Mutex).Lock":    true,
+	"(*sync.RWMutex).Lock":  true,
+	"(*sync.RWMutex).RLock": true,
+	"(sync.Locker).Lock":    true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	type fnInfo struct {
+		decl    *ast.FuncDecl
+		marked  bool
+		locks   bool // acquires a mutex, directly or transitively
+		callees []*types.Func
+	}
+	fns := make(map[*types.Func]*fnInfo)
+
+	// First pass: declarations, markers, direct locks, and call edges.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			info := &fnInfo{decl: fd, marked: fd.Doc != nil && strings.Contains(fd.Doc.Text(), marker)}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pass, call)
+				if callee == nil {
+					return true
+				}
+				if lockMethods[callee.FullName()] {
+					info.locks = true
+				} else if callee.Pkg() == pass.Pkg {
+					info.callees = append(info.callees, callee)
+				}
+				return true
+			})
+			fns[obj] = info
+		}
+	}
+
+	// Propagate lockiness through same-package calls to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, info := range fns {
+			if info.locks {
+				continue
+			}
+			for _, c := range info.callees {
+				if ci := fns[c]; ci != nil && ci.locks {
+					info.locks = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Report each offending site inside a marked function.
+	for _, info := range fns {
+		if !info.marked {
+			continue
+		}
+		name := info.decl.Name.Name
+		ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass, call)
+			if callee == nil {
+				return true
+			}
+			if lockMethods[callee.FullName()] {
+				pass.Reportf(call.Pos(), "%s is marked %s but acquires a mutex here; the stats path must stay lock-free", name, marker)
+			} else if ci := fns[callee]; ci != nil && ci.locks {
+				pass.Reportf(call.Pos(), "%s is marked %s but calls %s, which acquires a mutex; the stats path must stay lock-free", name, marker, callee.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// calleeFunc resolves a call expression to the function or method it
+// invokes, when that is statically known.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

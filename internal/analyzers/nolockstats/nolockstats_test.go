@@ -1,0 +1,12 @@
+package nolockstats_test
+
+import (
+	"testing"
+
+	"spanners/internal/analysis/analysistest"
+	"spanners/internal/analyzers/nolockstats"
+)
+
+func TestNoLockStats(t *testing.T) {
+	analysistest.Run(t, nolockstats.Analyzer, "nolockstats")
+}

@@ -1,0 +1,56 @@
+// Fixture for the nolockstats analyzer.
+package nolockstats
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type S struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	n    int
+	hits atomic.Int64
+}
+
+func (s *S) locked() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+func (s *S) helper() int { return s.locked() } // locks transitively
+
+func (s *S) pure() int { return int(s.hits.Load()) }
+
+// Stats reads only atomics: the contract holds.
+//
+// spanlint:nolock
+func (s *S) Stats() int {
+	return s.pure()
+}
+
+// BadStats takes the mutex directly.
+//
+// spanlint:nolock
+func (s *S) BadStats() int {
+	s.mu.Lock() // want `BadStats is marked spanlint:nolock but acquires a mutex here`
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// BadStatsDeep reaches a lock through two levels of helpers.
+//
+// spanlint:nolock
+func (s *S) BadStatsDeep() int {
+	return s.helper() // want `BadStatsDeep is marked spanlint:nolock but calls helper, which acquires a mutex`
+}
+
+// BadStatsRead takes a read lock; still a lock.
+//
+// spanlint:nolock
+func (s *S) BadStatsRead() int {
+	s.rw.RLock() // want `BadStatsRead is marked spanlint:nolock but acquires a mutex here`
+	defer s.rw.RUnlock()
+	return s.n
+}

@@ -1,0 +1,582 @@
+// Package releasepair enforces the repo's scratch-arena discipline: a
+// value obtained from a Preprocess/PreprocessContext call (any method of
+// those names whose first result has a niladic Release method — the
+// spanner.Evaluation shape) or from sync.Pool.Get must reach a
+// Release/Put on every path out of the acquiring function, including
+// error returns. This is the leak class PR 5 fixed by hand in
+// engine.ProcessContext: an evaluation dropped on an early return keeps
+// its pooled arena from ever being reused.
+//
+// The analysis is structured and optimistic rather than a full CFG: it
+// interprets each function body in order, forking at if/switch/select and
+// rejoining (a value is safe only if every live branch handles it), and
+// treats any transfer of the value — passed as an argument, returned,
+// stored, sent, captured by a closure — as a handoff of the release
+// obligation. Two conventions are understood so idiomatic pairings do not
+// false-positive: on a path where the value is known nil (`if ev != nil
+// {...}` else-arm, or the error arm of `ev, err := ...; if err != nil`)
+// there is nothing to release, and a `defer ev.Release()` (directly or
+// inside a deferred closure) covers every subsequent path.
+package releasepair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"spanners/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "releasepair",
+	Doc: "check that Preprocess/sync.Pool.Get results are released on all paths\n\n" +
+		"Every value acquired from a Preprocess/PreprocessContext method or\n" +
+		"sync.Pool.Get must reach Release/Put (or be handed off) on every\n" +
+		"return path of the acquiring function.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				f := &flow{pass: pass, acqs: make(map[*types.Var]*acquisition)}
+				st := make(state)
+				if !f.stmts(body.List, st) {
+					f.check(st, body.Rbrace)
+				}
+			}
+			return true // nested function literals get their own flow
+		})
+	}
+	return nil, nil
+}
+
+// acquisition is one tracked acquire site within a function context.
+type acquisition struct {
+	pos      token.Pos
+	what     string     // "Preprocess", "PreprocessContext", or "sync.Pool.Get"
+	release  string     // the pairing call the diagnostic should name
+	errVar   *types.Var // the err of `ev, err := ...`, if any
+	reported bool
+}
+
+// state maps each acquired variable to whether the current path has
+// handled it (released, deferred, or handed off).
+type state map[*types.Var]bool
+
+func (st state) clone() state {
+	c := make(state, len(st))
+	for k, v := range st {
+		c[k] = v
+	}
+	return c
+}
+
+type flow struct {
+	pass *analysis.Pass
+	acqs map[*types.Var]*acquisition
+}
+
+// check reports every variable still unhandled when a path leaves the
+// function; one report per acquisition.
+func (f *flow) check(st state, at token.Pos) {
+	for v, handled := range st {
+		if handled {
+			continue
+		}
+		a := f.acqs[v]
+		if a == nil || a.reported {
+			continue
+		}
+		a.reported = true
+		f.pass.Reportf(at, "%s result %q (line %d) is not released on this path; call %s before returning, or hand the value off",
+			a.what, v.Name(), f.pass.Fset.Position(a.pos).Line, a.release)
+	}
+}
+
+// stmts interprets a statement list; the returned bool reports whether
+// the path terminated (return/panic/branch) before reaching the end.
+func (f *flow) stmts(list []ast.Stmt, st state) bool {
+	for _, s := range list {
+		if f.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *flow) stmt(s ast.Stmt, st state) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		f.scanExprs(s.Rhs, st)
+		f.clearErrVars(s.Lhs)
+		f.acquire(s.Lhs, s.Rhs, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					f.scanExprs(vs.Values, st)
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, n := range vs.Names {
+						lhs[i] = n
+					}
+					f.acquire(lhs, vs.Values, st)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if isTerminalCall(s.X) {
+			return true
+		}
+		f.scanExpr(s.X, st)
+	case *ast.SendStmt:
+		f.scanExpr(s.Chan, st)
+		f.scanExpr(s.Value, st)
+	case *ast.IncDecStmt:
+		f.scanExpr(s.X, st)
+	case *ast.DeferStmt:
+		// A deferred Release/Put — or any deferred closure touching the
+		// value — covers every path from here on.
+		f.scanExpr(s.Call, st)
+	case *ast.GoStmt:
+		f.scanExpr(s.Call, st)
+	case *ast.ReturnStmt:
+		f.scanExprs(s.Results, st)
+		f.check(st, s.Pos())
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the enclosing construct; treated as
+		// path end without a leak check (optimistic).
+		return true
+	case *ast.BlockStmt:
+		return f.stmts(s.List, st)
+	case *ast.LabeledStmt:
+		return f.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		return f.ifStmt(s, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			f.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			f.scanExpr(s.Cond, st)
+		}
+		if s.Post != nil {
+			f.stmt(s.Post, st)
+		}
+		// One optimistic pass: handles established inside the body are
+		// trusted to hold (the zero-iteration case is accepted).
+		f.stmts(s.Body.List, st)
+	case *ast.RangeStmt:
+		f.scanExpr(s.X, st)
+		f.stmts(s.Body.List, st)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return f.branching(s, st)
+	}
+	return false
+}
+
+// ifStmt forks the state at a conditional, applying nil-refinements, and
+// rejoins: a value is handled after the if only if every arm that can
+// fall through handled it.
+func (f *flow) ifStmt(s *ast.IfStmt, st state) bool {
+	if s.Init != nil {
+		f.stmt(s.Init, st)
+	}
+	f.scanExpr(s.Cond, st)
+	thenSt, elseSt := st.clone(), st.clone()
+	f.refine(s.Cond, thenSt, elseSt)
+
+	thenTerm := f.stmts(s.Body.List, thenSt)
+	elseTerm := false
+	if s.Else != nil {
+		elseTerm = f.stmt(s.Else, elseSt)
+	}
+	switch {
+	case thenTerm && elseTerm:
+		return true
+	case thenTerm:
+		merge(st, elseSt)
+	case elseTerm:
+		merge(st, thenSt)
+	default:
+		for v := range st {
+			st[v] = thenSt[v] && elseSt[v]
+		}
+		for v := range thenSt { // vars acquired inside the arms
+			if _, ok := st[v]; !ok {
+				st[v] = thenSt[v] && elseSt[v]
+			}
+		}
+		for v := range elseSt {
+			if _, ok := st[v]; !ok {
+				st[v] = thenSt[v] && elseSt[v]
+			}
+		}
+	}
+	return false
+}
+
+// branching handles switch/type-switch/select: each clause forks the
+// state; a value is handled afterwards only if every clause that can
+// fall through handled it (and, for switches without a default, the
+// no-match path leaves it as-is).
+func (f *flow) branching(s ast.Stmt, st state) bool {
+	var clauses []ast.Stmt
+	hasDefault := false
+	exhaustiveIfDefault := true
+
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			f.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			f.scanExpr(s.Tag, st)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			f.stmt(s.Init, st)
+		}
+		f.stmt(s.Assign, st)
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+		hasDefault = true // select blocks: no implicit no-match path
+		exhaustiveIfDefault = false
+	}
+
+	var fallthroughs []state
+	allTerm := true
+	for _, c := range clauses {
+		var body []ast.Stmt
+		cst := st.clone()
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			f.scanExprs(c.List, st)
+			if c.List == nil {
+				hasDefault = true
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				f.stmt(c.Comm, cst) // comm ops may hand values off
+			} else if exhaustiveIfDefault {
+				hasDefault = true
+			}
+			body = c.Body
+		}
+		if !f.stmts(body, cst) {
+			allTerm = false
+			fallthroughs = append(fallthroughs, cst)
+		}
+	}
+	if !hasDefault {
+		// No default: the switch may match nothing and fall through with
+		// the incoming state untouched.
+		allTerm = false
+		fallthroughs = append(fallthroughs, st.clone())
+	}
+	if allTerm && len(clauses) > 0 {
+		return true
+	}
+	keys := make(map[*types.Var]bool)
+	for _, fs := range fallthroughs {
+		for v := range fs {
+			keys[v] = true
+		}
+	}
+	for v := range keys {
+		handled := true
+		for _, fs := range fallthroughs {
+			if !fs[v] {
+				handled = false
+				break
+			}
+		}
+		st[v] = handled
+	}
+	return false
+}
+
+func merge(dst, src state) {
+	for v, h := range src {
+		dst[v] = h
+	}
+}
+
+// refine applies nil-path knowledge from an if condition: in the arm
+// where a tracked value is nil (directly, or via the error convention of
+// its paired err variable) there is nothing left to release.
+func (f *flow) refine(cond ast.Expr, thenSt, elseSt state) {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	x, y := be.X, be.Y
+	if isNil(f.pass, y) {
+		// fallthrough with x as the value
+	} else if isNil(f.pass, x) {
+		x = y
+	} else {
+		return
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj, _ := f.pass.TypesInfo.Uses[id].(*types.Var)
+	if obj == nil {
+		return
+	}
+	nilArm := thenSt // `x == nil` → then-arm has x nil
+	if be.Op == token.NEQ {
+		nilArm = elseSt
+	}
+	if _, tracked := nilArm[obj]; tracked {
+		nilArm[obj] = true
+		return
+	}
+	// The error convention: on the arm where err != nil the paired
+	// result is nil by contract.
+	for v, a := range f.acqs {
+		if a.errVar == obj {
+			errArm := elseSt // `err == nil` → err non-nil on the else-arm
+			if be.Op == token.NEQ {
+				errArm = thenSt
+			}
+			if _, tracked := errArm[v]; tracked {
+				errArm[v] = true
+			}
+		}
+	}
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNilObj
+}
+
+// acquire records a tracked acquisition when the single RHS call has the
+// Preprocess/pool.Get shape and the first LHS is a plain variable.
+func (f *flow) acquire(lhs, rhs []ast.Expr, st state) {
+	if len(rhs) != 1 || len(lhs) == 0 {
+		return
+	}
+	expr := rhs[0]
+	if ta, ok := expr.(*ast.TypeAssertExpr); ok {
+		expr = ta.X // the idiomatic pool.Get().(*T) shape
+	}
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	what, release, ok := f.acquireKind(call)
+	if !ok {
+		return
+	}
+	id, ok := lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	v := f.defOrUse(id)
+	if v == nil {
+		return
+	}
+	a := &acquisition{pos: call.Pos(), what: what, release: release}
+	if len(lhs) == 2 {
+		if eid, ok := lhs[1].(*ast.Ident); ok && eid.Name != "_" {
+			if ev := f.defOrUse(eid); ev != nil && isErrorVar(ev) {
+				a.errVar = ev
+			}
+		}
+	}
+	f.acqs[v] = a
+	st[v] = false
+}
+
+// clearErrVars drops the error-convention association for any err
+// variable being reassigned: `ok, err := other()` reuses the same err
+// object, and a later `if err != nil` then says nothing about the
+// earlier acquisition.
+func (f *flow) clearErrVars(lhs []ast.Expr) {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		v := f.defOrUse(id)
+		if v == nil {
+			continue
+		}
+		for _, a := range f.acqs {
+			if a.errVar == v {
+				a.errVar = nil
+			}
+		}
+	}
+}
+
+func (f *flow) defOrUse(id *ast.Ident) *types.Var {
+	if v, ok := f.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := f.pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+func isErrorVar(v *types.Var) bool {
+	t, ok := v.Type().(*types.Named)
+	return ok && t.Obj().Name() == "error" && t.Obj().Pkg() == nil
+}
+
+// acquireKind classifies a call as a tracked acquisition.
+func (f *flow) acquireKind(call *ast.CallExpr) (what, release string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, _ := f.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return "", "", false
+	}
+	if fn.FullName() == "(*sync.Pool).Get" {
+		return "sync.Pool.Get", "Put", true
+	}
+	name := fn.Name()
+	if name != "Preprocess" && name != "PreprocessContext" {
+		return "", "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil || sig.Results().Len() == 0 {
+		return "", "", false
+	}
+	if !hasRelease(sig.Results().At(0).Type()) {
+		return "", "", false
+	}
+	return name, "Release", true
+}
+
+// hasRelease reports whether t (or *t) has a niladic Release method —
+// the shape that marks a deferred-evaluation value.
+func hasRelease(t types.Type) bool {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		obj, _, _ := types.LookupFieldOrMethod(typ, true, nil, "Release")
+		if m, ok := obj.(*types.Func); ok {
+			sig := m.Type().(*types.Signature)
+			if sig.Params().Len() == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (f *flow) scanExprs(exprs []ast.Expr, st state) {
+	for _, e := range exprs {
+		f.scanExpr(e, st)
+	}
+}
+
+// scanExpr walks an expression marking tracked values handled wherever
+// the release obligation is discharged or transferred: an explicit
+// x.Release(), a pool.Put(x), x passed as any call argument, stored,
+// returned, sent, addressed, or captured by a function literal. A plain
+// method call ON the value (ev.Enumerate(...)) keeps the obligation.
+func (f *flow) scanExpr(e ast.Expr, st state) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			// A nil comparison reads the value without transferring the
+			// release obligation; skip its ident operand so `if ev != nil`
+			// does not count as a handoff.
+			if (n.Op == token.EQL || n.Op == token.NEQ) &&
+				(isNil(f.pass, n.X) || isNil(f.pass, n.Y)) {
+				if !isNil(f.pass, n.X) {
+					if _, plain := n.X.(*ast.Ident); !plain {
+						f.scanExpr(n.X, st)
+					}
+				}
+				if !isNil(f.pass, n.Y) {
+					if _, plain := n.Y.(*ast.Ident); !plain {
+						f.scanExpr(n.Y, st)
+					}
+				}
+				return false
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if v := f.trackedUse(id); v != nil {
+						if sel.Sel.Name == "Release" {
+							st[v] = true
+						}
+						// Receiver position: not a handoff. Scan only the
+						// arguments.
+						for _, arg := range n.Args {
+							f.scanExpr(arg, st)
+						}
+						return false
+					}
+				}
+			}
+		case *ast.Ident:
+			if v := f.trackedUse(n); v != nil {
+				st[v] = true // any non-receiver appearance transfers the obligation
+			}
+		}
+		return true
+	})
+}
+
+// trackedUse resolves an ident to a tracked variable, or nil.
+func (f *flow) trackedUse(id *ast.Ident) *types.Var {
+	v, _ := f.pass.TypesInfo.Uses[id].(*types.Var)
+	if v == nil {
+		return nil
+	}
+	if _, ok := f.acqs[v]; !ok {
+		return nil
+	}
+	return v
+}
+
+// isTerminalCall recognizes calls that end the path without returning:
+// panic, os.Exit, log.Fatal*, testing's Fatal*/Skip*.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Exit", "Fatal", "Fatalf", "Fatalln", "Skip", "Skipf", "SkipNow", "FailNow", "Goexit":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package releasepair_test
+
+import (
+	"testing"
+
+	"spanners/internal/analysis/analysistest"
+	"spanners/internal/analyzers/releasepair"
+)
+
+func TestReleasePair(t *testing.T) {
+	analysistest.Run(t, releasepair.Analyzer, "releasepair")
+}

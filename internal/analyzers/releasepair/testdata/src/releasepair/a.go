@@ -1,0 +1,172 @@
+// Fixture for the releasepair analyzer: a miniature of the repo's
+// Preprocess/Release contract plus sync.Pool pairing.
+package releasepair
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+type Evaluation struct{ n int }
+
+func (e *Evaluation) Release()   {}
+func (e *Evaluation) Count() int { return e.n }
+
+type Spanner struct{ scratch sync.Pool }
+
+func (s *Spanner) Preprocess(doc string) *Evaluation { return &Evaluation{} }
+
+func (s *Spanner) PreprocessContext(ctx context.Context, doc string) (*Evaluation, error) {
+	if doc == "" {
+		return nil, errors.New("empty")
+	}
+	return &Evaluation{}, nil
+}
+
+func sink(*Evaluation)        {}
+func sinkAny(any)             {}
+func fallible() (bool, error) { return false, nil }
+
+// --- clean cases ---
+
+func okDirect(s *Spanner) {
+	ev := s.Preprocess("d")
+	ev.Release()
+}
+
+func okDefer(s *Spanner) int {
+	ev := s.Preprocess("d")
+	defer ev.Release()
+	return ev.Count()
+}
+
+func okErrConvention(ctx context.Context, s *Spanner) (int, error) {
+	ev, err := s.PreprocessContext(ctx, "d")
+	if err != nil {
+		return 0, err
+	}
+	defer ev.Release()
+	return ev.Count(), nil
+}
+
+func okNilCheck(s *Spanner) {
+	ev := s.Preprocess("d")
+	if ev == nil {
+		return
+	}
+	ev.Release()
+}
+
+func okHandoffArg(s *Spanner) {
+	ev := s.Preprocess("d")
+	sink(ev) // ownership transferred to the callee
+}
+
+func okHandoffReturn(s *Spanner) *Evaluation {
+	ev := s.Preprocess("d")
+	return ev // ownership transferred to the caller
+}
+
+func okHandoffStore(s *Spanner, out chan *Evaluation) {
+	ev := s.Preprocess("d")
+	out <- ev
+}
+
+func okDeferredClosure(s *Spanner) int {
+	ev := s.Preprocess("d")
+	defer func() {
+		if ev != nil {
+			ev.Release()
+		}
+	}()
+	return ev.Count()
+}
+
+func okBothBranches(s *Spanner, b bool) {
+	ev := s.Preprocess("d")
+	if b {
+		ev.Release()
+	} else {
+		sink(ev)
+	}
+}
+
+func okPool(s *Spanner) {
+	buf := s.scratch.Get().(*Evaluation)
+	defer s.scratch.Put(buf)
+	buf.Count()
+}
+
+func okDropped(s *Spanner) {
+	_ = s.Preprocess("d") // discarded to the GC on purpose: not tracked
+}
+
+// --- leaks ---
+
+func badFallOff(s *Spanner) {
+	ev := s.Preprocess("d")
+	_ = ev.Count()
+} // want `Preprocess result "ev" \(line \d+\) is not released on this path`
+
+func badEarlyReturn(ctx context.Context, s *Spanner) (int, error) {
+	ev, err := s.PreprocessContext(ctx, "d")
+	if err != nil {
+		return 0, err
+	}
+	ok, err := fallible()
+	if err != nil {
+		return 0, err // want `PreprocessContext result "ev" \(line \d+\) is not released on this path`
+	}
+	if !ok {
+		return 0, nil
+	}
+	defer ev.Release()
+	return ev.Count(), nil
+}
+
+func badOneBranch(s *Spanner, b bool) {
+	ev := s.Preprocess("d")
+	if b {
+		ev.Release()
+	}
+	_ = b
+} // want `Preprocess result "ev" \(line \d+\) is not released on this path`
+
+func badPool(s *Spanner) {
+	buf := s.scratch.Get().(*Evaluation)
+	if buf == nil {
+		return
+	}
+	buf.Count()
+} // want `sync.Pool.Get result "buf" \(line \d+\) is not released on this path; call Put`
+
+// The pattern behind a real repo finding (a cancellation test asserting
+// on (ev, err) with one compound condition): the analyzer cannot prove
+// ev nil on the fall-through of a compound check, so the value must be
+// released explicitly when non-nil — as okCompoundAssert does.
+func badCompoundAssert(ctx context.Context, s *Spanner) error {
+	ev, err := s.PreprocessContext(ctx, "")
+	if err == nil || ev != nil {
+		return errors.New("want error and nil ev") // want `PreprocessContext result "ev" \(line \d+\) is not released on this path`
+	}
+	return nil
+}
+
+func okCompoundAssert(ctx context.Context, s *Spanner) error {
+	ev, err := s.PreprocessContext(ctx, "")
+	if ev != nil {
+		ev.Release()
+	}
+	if err == nil {
+		return errors.New("want error")
+	}
+	return nil
+}
+
+func badInClosure(s *Spanner) func() {
+	return func() {
+		ev := s.Preprocess("d")
+		_ = ev.Count()
+	} // want `Preprocess result "ev" \(line \d+\) is not released on this path`
+}

@@ -1,0 +1,155 @@
+// Package shadow reports inner variable declarations that shadow an
+// outer function-scope variable of the identical type which is still
+// consulted after the inner scope closes — the classic
+//
+//	err := step1()
+//	if cond {
+//		err := step2() // shadowed: the outer err never sees this failure
+//		...
+//	}
+//	return err
+//
+// It is a reimplementation of golang.org/x/tools' shadow checker on the
+// standard library, with two deliberate tightenings to cut noise: only
+// short-variable and var declarations shadow (function-literal
+// parameters do not), and the outer variable must be read after the
+// shadowing scope closes without being freshly written first — so the
+// idiom of checking an if-scoped err and later reusing the name via
+// `x, err := ...` is not flagged, while a bare read of the stale outer
+// value is. Package-level and universe names are never considered
+// shadowed.
+package shadow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"spanners/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "shadow",
+	Doc: "check for shadowed variables that are still used afterwards\n\n" +
+		"An inner declaration hiding a same-typed outer variable that is\n" +
+		"read after the inner scope ends (with no intervening write)\n" +
+		"usually means an assignment was intended.",
+	Run: run,
+}
+
+// event is one appearance of a variable: a read, or a pure write (plain
+// assignment or := reuse). Compound assignments and ++/-- read first,
+// so they count as reads.
+type event struct {
+	pos   token.Pos
+	write bool
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	events := collectEvents(pass)
+
+	check := func(id *ast.Ident) {
+		v, ok := pass.TypesInfo.Defs[id].(*types.Var)
+		if !ok || id.Name == "_" {
+			return
+		}
+		inner := v.Parent()
+		if inner == nil || inner == pass.Pkg.Scope() {
+			return
+		}
+		outerScope := inner.Parent()
+		if outerScope == nil {
+			return
+		}
+		_, shadowed := outerScope.LookupParent(v.Name(), v.Pos())
+		sv, ok := shadowed.(*types.Var)
+		if !ok || sv == v || sv.IsField() {
+			return
+		}
+		// Only function-local shadowing of an earlier declaration counts.
+		if sv.Parent() == pass.Pkg.Scope() || sv.Parent() == types.Universe || sv.Parent() == nil {
+			return
+		}
+		if !sv.Pos().IsValid() || sv.Pos() >= v.Pos() {
+			return
+		}
+		if !types.Identical(sv.Type(), v.Type()) {
+			return
+		}
+		// The dangerous case: after the shadowing scope closes, the next
+		// thing to happen to the outer variable is a read — it sees a value
+		// the shadowed code appeared to replace.
+		for _, ev := range events[sv] {
+			if ev.pos <= inner.End() {
+				continue
+			}
+			if !ev.write {
+				pass.Reportf(id.Pos(), "declaration of %q shadows declaration at line %d",
+					v.Name(), pass.Fset.Position(sv.Pos()).Line)
+			}
+			break
+		}
+	}
+
+	// Only declarations written by the programmer as := or var statements
+	// are shadow candidates (mirroring x/tools; parameters are not).
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE {
+					for _, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							check(id)
+						}
+					}
+				}
+			case *ast.GenDecl:
+				if n.Tok == token.VAR {
+					for _, spec := range n.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok {
+							for _, name := range vs.Names {
+								check(name)
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// collectEvents builds, per variable, the ordered read/write appearances
+// drawn from the Uses map (a := that reuses an existing variable records
+// its ident as a use; classify it as a write).
+func collectEvents(pass *analysis.Pass) map[*types.Var][]event {
+	writes := make(map[*ast.Ident]bool)
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				writes[id] = true
+			}
+		}
+		return true
+	})
+
+	events := make(map[*types.Var][]event)
+	for id, obj := range pass.TypesInfo.Uses {
+		v, ok := obj.(*types.Var)
+		if !ok {
+			continue
+		}
+		events[v] = append(events[v], event{pos: id.Pos(), write: writes[id]})
+	}
+	for _, evs := range events {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	}
+	return events
+}

@@ -1,0 +1,12 @@
+package shadow_test
+
+import (
+	"testing"
+
+	"spanners/internal/analysis/analysistest"
+	"spanners/internal/analyzers/shadow"
+)
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, shadow.Analyzer, "shadow")
+}

@@ -1,0 +1,85 @@
+// Fixture for the shadow analyzer.
+package shadow
+
+import "errors"
+
+func check(n int) error {
+	if n > 100 {
+		return errors.New("too big")
+	}
+	return nil
+}
+
+func bad(data []int) (int, error) {
+	sum := 0
+	for _, v := range data {
+		sum += v
+	}
+	err := check(sum)
+	if err != nil {
+		return 0, err
+	}
+	if sum > 10 {
+		err := check(sum * 2) // want `declaration of "err" shadows declaration at line \d+`
+		if err != nil {
+			return 0, nil // the outer err below never sees this failure
+		}
+	}
+	return sum, err
+}
+
+func add(a, b int) (int, error) {
+	if a+b > 100 {
+		return 0, errors.New("overflow")
+	}
+	return a + b, nil
+}
+
+func okErrIdiom(a, b int) (int, error) {
+	err := check(a)
+	if err != nil {
+		return 0, err
+	}
+	if b > 0 {
+		if err := check(b); err != nil { // shadow, but outer err is freshly written before its next read
+			return 0, err
+		}
+	}
+	sum, err := add(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return sum, nil
+}
+
+func okParamShadow(xs []int) func(int) int {
+	n := len(xs)
+	_ = n
+	return func(n int) int { // parameters are not shadow candidates
+		return n * 2
+	}
+}
+
+func okLocalCopy(xs []func()) {
+	for _, x := range xs {
+		x := x // stays local: the outer x is not used after this scope
+		defer x()
+	}
+}
+
+func okDifferentType(n int) string {
+	v := n
+	{
+		v := "s" // different type: deliberate reuse of the name
+		_ = v
+	}
+	return string(rune(v))
+}
+
+func okNotUsedAfter(total int) int {
+	if total > 0 {
+		total := total * 2
+		return total
+	}
+	return 0
+}

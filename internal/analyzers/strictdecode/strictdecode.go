@@ -1,0 +1,81 @@
+// Package strictdecode keeps spannerd's request parsing on the hardened
+// path. The daemon funnels every request body through decodeStrict,
+// which rejects unknown fields and trailing garbage; a raw
+// json.Unmarshal or json.Decoder.Decode added elsewhere in the package
+// silently reopens both holes. The analyzer applies to any package that
+// declares a decodeStrict function (or is named spannerd) and flags raw
+// decodes outside decodeStrict itself; _test.go files are exempt, since
+// tests routinely decode responses they just produced.
+package strictdecode
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+	"strings"
+
+	"spanners/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "strictdecode",
+	Doc: "check that spannerd decodes JSON via decodeStrict only\n\n" +
+		"In packages with a decodeStrict helper, raw json.Unmarshal or\n" +
+		"json.Decoder.Decode calls outside it bypass unknown-field and\n" +
+		"trailing-garbage rejection.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !applies(pass) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name == "decodeStrict" {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if fn == nil {
+					return true
+				}
+				switch fn.FullName() {
+				case "encoding/json.Unmarshal", "(*encoding/json.Decoder).Decode":
+					pass.Reportf(call.Pos(), "raw JSON decode outside decodeStrict; route the input through decodeStrict so unknown fields and trailing garbage are rejected")
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// applies reports whether this package opted into the contract: it
+// declares decodeStrict, or it is the spannerd package itself (the
+// " [pkg.test]" suffix of test variants is ignored).
+func applies(pass *analysis.Pass) bool {
+	pkgPath := pass.Pkg.Path()
+	if i := strings.Index(pkgPath, " ["); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+	if path.Base(pkgPath) == "spannerd" {
+		return true
+	}
+	return pass.Pkg.Scope().Lookup("decodeStrict") != nil
+}

@@ -1,0 +1,12 @@
+package strictdecode_test
+
+import (
+	"testing"
+
+	"spanners/internal/analysis/analysistest"
+	"spanners/internal/analyzers/strictdecode"
+)
+
+func TestStrictDecode(t *testing.T) {
+	analysistest.Run(t, strictdecode.Analyzer, "spannerd")
+}

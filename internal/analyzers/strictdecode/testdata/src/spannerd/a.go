@@ -1,0 +1,49 @@
+// Fixture for the strictdecode analyzer: a miniature of spannerd's
+// hardened request parsing.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+)
+
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil { // the one sanctioned raw decode
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing garbage")
+	}
+	return nil
+}
+
+type request struct {
+	Query string `json:"query"`
+}
+
+func handleGood(r io.Reader) (*request, error) {
+	var req request
+	if err := decodeStrict(r, &req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+func handleBadUnmarshal(data []byte) (*request, error) {
+	var req request
+	if err := json.Unmarshal(data, &req); err != nil { // want `raw JSON decode outside decodeStrict`
+		return nil, err
+	}
+	return &req, nil
+}
+
+func handleBadDecoder(r io.Reader) (*request, error) {
+	var req request
+	if err := json.NewDecoder(r).Decode(&req); err != nil { // want `raw JSON decode outside decodeStrict`
+		return nil, err
+	}
+	return &req, nil
+}

@@ -37,6 +37,7 @@ type Lazy struct {
 
 	// discovered mirrors len(sts) behind an atomic so StatesDiscovered
 	// never has to touch the memo tables that evaluations mutate.
+	// spanlint:atomic
 	discovered atomic.Int64
 }
 
@@ -208,5 +209,7 @@ func (l *Lazy) DisableAccel() { l.accelOff = true }
 // experiments. Unlike every other method it is safe to call concurrently
 // with evaluations: the count is kept in an atomic mirror, so stats
 // endpoints can poll it without blocking (or being blocked by) the
-// evaluation lock.
+// evaluation lock. Enforced by the nolockstats analyzer (cmd/spanlint).
+//
+// spanlint:nolock
 func (l *Lazy) StatesDiscovered() int { return int(l.discovered.Load()) }

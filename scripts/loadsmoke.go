@@ -83,9 +83,7 @@ func main() {
 					failed.Add(1)
 					continue
 				}
-				_, _ = io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
+				if !drain(resp) || resp.StatusCode != http.StatusOK {
 					failed.Add(1)
 					continue
 				}
@@ -138,8 +136,10 @@ func corpusPhase(client *http.Client, addr string, docs, shards, n, c int) int64
 		fmt.Fprintf(os.Stderr, "loadsmoke: corpus register: %v\n", err)
 		return 1
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	if !drain(resp) {
+		fmt.Fprintf(os.Stderr, "loadsmoke: corpus register: response truncated\n")
+		return 1
+	}
 	if resp.StatusCode != http.StatusOK {
 		fmt.Fprintf(os.Stderr, "loadsmoke: corpus register: status %d\n", resp.StatusCode)
 		return 1
@@ -180,9 +180,7 @@ func corpusPhase(client *http.Client, addr string, docs, shards, n, c int) int64
 					failed.Add(1)
 					continue
 				}
-				_, _ = io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
+				if !drain(resp) || resp.StatusCode != http.StatusOK {
 					failed.Add(1)
 					continue
 				}
@@ -243,6 +241,17 @@ func printCorpusVars(client *http.Client, addr string) {
 		}
 		fmt.Println()
 	}
+}
+
+// drain consumes and closes a response body, reporting whether the full
+// body arrived. A failed drain means the response was cut off mid-stream
+// — that must count as a failed request, not a served one; silently
+// discarding the copy error here used to let truncated responses pass as
+// successes (and pollute the latency sample).
+func drain(resp *http.Response) bool {
+	_, err := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return err == nil
 }
 
 // waitReady polls /healthz until the daemon answers.

@@ -117,7 +117,12 @@ func TestContextPreCancelled(t *testing.T) {
 	if _, err := s.CountBigContext(ctx, doc); !errors.Is(err, context.Canceled) {
 		t.Fatalf("CountBigContext err = %v", err)
 	}
-	if ev, err := s.PreprocessContext(ctx, doc); !errors.Is(err, context.Canceled) || ev != nil {
+	ev, err := s.PreprocessContext(ctx, doc)
+	if ev != nil {
+		// Contract violation — but don't leak the evaluation it returned.
+		ev.Release()
+	}
+	if !errors.Is(err, context.Canceled) || ev != nil {
 		t.Fatalf("PreprocessContext = (%v, %v), want (nil, Canceled)", ev, err)
 	}
 	if err := s.EnumerateReaderContext(ctx, strings.NewReader("abab"), func(*spanner.Match) bool { return true }); !errors.Is(err, context.Canceled) {

@@ -97,16 +97,16 @@ func TestParseQueryLiteralEscapes(t *testing.T) {
 
 func TestParseQueryErrors(t *testing.T) {
 	for _, src := range []string{
-		``,                      // empty
-		`/ab`,                   // unclosed literal
-		`/a\`,                   // trailing backslash
-		`frobnicate(/a/)`,       // unknown combinator
-		`union(/a/`,             // missing )
-		`union(/a/, )`,          // missing operand
-		`project[x(/!x{a}/)`,    // missing ]
-		`project[x]/!x{a}/`,     // missing (
+		``,                              // empty
+		`/ab`,                           // unclosed literal
+		`/a\`,                           // trailing backslash
+		`frobnicate(/a/)`,               // unknown combinator
+		`union(/a/`,                     // missing )
+		`union(/a/, )`,                  // missing operand
+		`project[x(/!x{a}/)`,            // missing ]
+		`project[x]/!x{a}/`,             // missing (
 		`project[x,](/!x{a}/) trailing`, // junk after expression
-		`/a/ /b/`,               // two expressions
+		`/a/ /b/`,                       // two expressions
 	} {
 		if _, err := spanner.ParseQuery(src); err == nil {
 			t.Errorf("ParseQuery(%q) succeeded, want error", src)

@@ -86,6 +86,11 @@ func WithStrict() Option { return func(c *config) { c.mode = ModeStrict } }
 // evaluations. Under contention-heavy serving workloads prefer the default
 // strict mode unless the automaton's subset space makes strict
 // determinization prohibitive.
+//
+// Both halves of this contract are machine-checked by cmd/spanlint: the
+// atomicfield analyzer keeps the discovered-state counter on sync/atomic
+// operations, and the nolockstats analyzer proves the Stats path never
+// reaches a mutex acquisition.
 func WithLazy() Option { return func(c *config) { c.mode = ModeLazy } }
 
 // WithMode selects the determinization mode explicitly.
@@ -204,7 +209,9 @@ type Spanner struct {
 	// accSkipped/accFallbacks aggregate the scan-acceleration counters
 	// across evaluations; Stats surfaces them as PrefilterSkippedBytes and
 	// PrefilterFallbacks.
-	accSkipped   atomic.Int64
+	// spanlint:atomic
+	accSkipped atomic.Int64
+	// spanlint:atomic
 	accFallbacks atomic.Int64
 }
 
@@ -370,7 +377,10 @@ func (s *Spanner) Mode() Mode { return s.mode }
 // the subset states discovered so far, so it grows as documents are
 // evaluated; the counter is read atomically, so Stats neither blocks nor
 // is blocked by concurrent evaluations — monitoring surfaces (the CLI's
-// -stats, spannerd's /debug/vars) may poll it freely.
+// -stats, spannerd's /debug/vars) may poll it freely. The lock-free
+// property is enforced by the nolockstats analyzer (cmd/spanlint).
+//
+// spanlint:nolock
 func (s *Spanner) Stats() Stats {
 	st := s.stats
 	if s.lazy != nil {
