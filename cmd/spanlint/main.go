@@ -1,14 +1,22 @@
 // Command spanlint is the repo's static-analysis gate: a multichecker
 // bundling the analyzers that mechanically enforce the concurrency and
 // resource contracts the documentation only promises — Release pairing
-// for preprocessed evaluations, atomics-only counter fields, cancelable
-// loops in ...Context methods, spannerd's strict JSON decoding, the
-// lock-free Stats path — plus conservative shadow and nilness checks.
+// for preprocessed evaluations, goroutine termination guarantees, mutex
+// pairing and cross-function lock order, atomics-only counter fields,
+// cancelable loops in ...Context methods, spannerd's strict JSON
+// decoding, the lock-free Stats path — plus conservative shadow and
+// nilness checks. The path-sensitive analyzers (releasepair, goroleak,
+// lockorder, nilness) share one control-flow graph per function, built
+// by the ctrlflow pass in internal/analysis.
 //
 // It runs two ways:
 //
 //	go vet -vettool=$(command -v spanlint) ./...   # as a vet tool (CI)
 //	spanlint ./...                                 # standalone
+//
+// `spanlint -json pkgs...` emits diagnostics as NDJSON on stdout;
+// `spanlint -ignores pkgs...` prints the //spanlint:ignore audit
+// listing instead of checking.
 //
 // A diagnosis can be suppressed at the site with a justification:
 //
@@ -22,6 +30,8 @@ import (
 	"spanners/internal/analysis"
 	"spanners/internal/analyzers/atomicfield"
 	"spanners/internal/analyzers/ctxloop"
+	"spanners/internal/analyzers/goroleak"
+	"spanners/internal/analyzers/lockorder"
 	"spanners/internal/analyzers/nilness"
 	"spanners/internal/analyzers/nolockstats"
 	"spanners/internal/analyzers/releasepair"
@@ -32,6 +42,8 @@ import (
 func main() {
 	analysis.Main(
 		releasepair.Analyzer,
+		goroleak.Analyzer,
+		lockorder.Analyzer,
 		atomicfield.Analyzer,
 		ctxloop.Analyzer,
 		strictdecode.Analyzer,

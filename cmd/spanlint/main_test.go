@@ -56,10 +56,60 @@ func TestSmoke(t *testing.T) {
 		for _, f := range flags {
 			names[f.Name] = true
 		}
-		for _, want := range []string{"releasepair", "atomicfield", "ctxloop", "strictdecode", "nolockstats", "shadow", "nilness"} {
+		for _, want := range []string{"releasepair", "goroleak", "lockorder", "atomicfield", "ctxloop", "strictdecode", "nolockstats", "shadow", "nilness"} {
 			if !names[want] {
 				t.Errorf("-flags is missing analyzer %q", want)
 			}
+		}
+		// Driver-side flags must stay out of the handshake so cmd/go
+		// never forwards them on vet runs.
+		for _, reserved := range []string{"V", "flags", "json", "ignores"} {
+			if names[reserved] {
+				t.Errorf("-flags must not advertise driver flag %q", reserved)
+			}
+		}
+	})
+
+	t.Run("json", func(t *testing.T) {
+		cmd := exec.Command(exe, "-json", "./testdata/src/jsondemo")
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Fatalf("expected exit status 2 on findings, got %v\nstderr: %s", err, stderr.String())
+		}
+		lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+		if len(lines) != 1 {
+			t.Fatalf("expected exactly one NDJSON diagnostic, got %d:\n%s", len(lines), stdout.String())
+		}
+		var d struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(lines[0]), &d); err != nil {
+			t.Fatalf("diagnostic line is not valid JSON: %v\n%s", err, lines[0])
+		}
+		if d.Analyzer != "nilness" || !strings.Contains(d.Message, "nil dereference") {
+			t.Errorf("unexpected diagnostic: %+v", d)
+		}
+		if !strings.HasSuffix(d.File, "jsondemo.go") || d.Line == 0 || d.Column == 0 {
+			t.Errorf("diagnostic position not populated: %+v", d)
+		}
+	})
+
+	t.Run("ignores", func(t *testing.T) {
+		out, err := exec.Command(exe, "-ignores", "spanners/engine").Output()
+		if err != nil {
+			t.Fatalf("-ignores: %v", err)
+		}
+		s := string(out)
+		if !strings.Contains(s, "ctxloop") || !strings.Contains(s, "buffered to exactly n") {
+			t.Errorf("-ignores audit is missing the engine suppression site:\n%s", s)
 		}
 	})
 

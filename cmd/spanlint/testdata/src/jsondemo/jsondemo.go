@@ -1,0 +1,14 @@
+// Package jsondemo exists for the spanlint -json smoke test: it
+// carries exactly one deliberate nilness finding so the test can
+// assert the NDJSON diagnostic shape end to end. It lives under
+// testdata so repo-wide runs (./...) never load it.
+package jsondemo
+
+type t struct{ f int }
+
+func use(p *t) int {
+	if p == nil {
+		return p.f // deliberate: nilness must flag this
+	}
+	return p.f
+}

@@ -170,6 +170,9 @@ func (s *Snapshot) Served(k int) int64 { return s.served[k].Load() }
 type Registry struct {
 	limits Limits
 
+	// mu's pairing, read/write mode discipline, and cross-function
+	// acquisition order are machine-checked by the lockorder analyzer
+	// in cmd/spanlint.
 	mu      sync.RWMutex
 	corpora map[string]*Snapshot
 	// gens outlives deletion so re-registering a deleted name keeps the

@@ -1,0 +1,59 @@
+// The ctrlflow analyzer: builds the control-flow graph of every
+// function in the package once, as a Requires-able result, so that all
+// flow-sensitive analyzers share the same graphs instead of each
+// lowering the AST privately.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CFGs maps every function literal and declared function with a body in
+// the package to its control-flow graph. It is the result type of
+// CFGAnalyzer.
+type CFGs struct {
+	byNode map[ast.Node]*CFG
+}
+
+// FuncCFG returns the CFG of fn, which must be an *ast.FuncDecl or
+// *ast.FuncLit from the analyzed package; nil for a bodiless
+// declaration.
+func (c *CFGs) FuncCFG(fn ast.Node) *CFG { return c.byNode[fn] }
+
+// CFGAnalyzer computes a CFGs result for the package. It reports
+// nothing; flow-sensitive analyzers list it in Requires and retrieve
+// the shared graphs via Pass.ResultOf.
+var CFGAnalyzer = &Analyzer{
+	Name: "ctrlflow",
+	Doc:  "build control-flow graphs shared by flow-sensitive analyzers",
+	Run: func(pass *Pass) (any, error) {
+		cfgs := &CFGs{byNode: make(map[ast.Node]*CFG)}
+		mayTerm := func(call *ast.CallExpr) bool { return terminalCall(pass.TypesInfo, call) }
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						cfgs.byNode[fn] = NewCFG(fn.Body, mayTerm)
+					}
+				case *ast.FuncLit:
+					cfgs.byNode[fn] = NewCFG(fn.Body, mayTerm)
+				}
+				return true
+			})
+		}
+		return cfgs, nil
+	},
+}
+
+// terminalCall is TerminalCall sharpened with type information: the
+// panic identifier must actually resolve to the builtin (not a local
+// shadowing it).
+func terminalCall(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" && info != nil {
+		_, isBuiltin := info.Uses[id].(*types.Builtin)
+		return isBuiltin
+	}
+	return TerminalCall(call)
+}

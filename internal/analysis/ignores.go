@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// IgnoreSite is one //spanlint:ignore suppression found in the source:
+// the place, the analyzer names it shields, and the justification the
+// author gave. The audit listing (spanlint -ignores) exists so the
+// waivers the lint gate is honoring stay reviewable instead of rotting
+// silently in the tree.
+type IgnoreSite struct {
+	File          string
+	Line          int
+	Analyzers     string // the comma list exactly as written
+	Justification string
+}
+
+// ListIgnores loads the packages matched by the patterns and returns
+// every suppression site in file/line order. It reuses the same parser
+// the suppression pass applies, so the audit and the gate can never
+// disagree about what counts as an ignore.
+func ListIgnores(patterns []string) ([]IgnoreSite, error) {
+	pkgs, err := Load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var sites []IgnoreSite
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					names, justification, ok := parseIgnore(c.Text)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					sites = append(sites, IgnoreSite{
+						File:          pos.Filename,
+						Line:          pos.Line,
+						Analyzers:     names,
+						Justification: justification,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].File != sites[j].File {
+			return sites[i].File < sites[j].File
+		}
+		return sites[i].Line < sites[j].Line
+	})
+	return sites, nil
+}
+
+// PrintIgnores writes the audit listing, one site per line:
+// file:line: names: justification.
+func PrintIgnores(w io.Writer, sites []IgnoreSite) {
+	for _, s := range sites {
+		fmt.Fprintf(w, "%s:%d: %s: %s\n", s.File, s.Line, s.Analyzers, s.Justification)
+	}
+}

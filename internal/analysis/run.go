@@ -84,6 +84,21 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 // and a mandatory justification.
 var ignoreRE = regexp.MustCompile(`spanlint:ignore\s+([A-Za-z_][A-Za-z0-9_,]*)\s+(\S.*)`)
 
+// parseIgnore recognizes a //spanlint:ignore directive. Like Go's own
+// //go: directives it must start the comment — `//spanlint:ignore`
+// with no space — so prose that merely mentions the directive (doc
+// comments, examples) neither suppresses nor shows up in the audit.
+func parseIgnore(text string) (names, justification string, ok bool) {
+	if !strings.HasPrefix(text, "//spanlint:ignore") {
+		return "", "", false
+	}
+	m := ignoreRE.FindStringSubmatch(text)
+	if m == nil {
+		return "", "", false
+	}
+	return m[1], strings.TrimSpace(m[2]), true
+}
+
 // suppress drops diagnostics whose site carries a matching
 // //spanlint:ignore comment on the same line or the line directly above.
 func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
@@ -92,8 +107,8 @@ func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := ignoreRE.FindStringSubmatch(c.Text)
-				if m == nil {
+				nameList, _, ok := parseIgnore(c.Text)
+				if !ok {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
@@ -102,7 +117,7 @@ func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
 					byLine = make(map[int][]string)
 					ignores[pos.Filename] = byLine
 				}
-				names := strings.Split(m[1], ",")
+				names := strings.Split(nameList, ",")
 				// The comment shields its own line and the next: a
 				// comment above a statement names the statement below it.
 				byLine[pos.Line] = append(byLine[pos.Line], names...)

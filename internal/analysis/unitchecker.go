@@ -45,10 +45,18 @@ type vetConfig struct {
 //
 // Each analyzer contributes a -name boolean flag; naming any analyzer
 // explicitly runs only the named ones, the default is all of them.
+//
+// Two driver-side flags are excluded from the -flags handshake (like -V
+// itself) so cmd/go never forwards them: -json switches the diagnostic
+// stream to NDJSON on stdout for tooling, and -ignores prints the
+// //spanlint:ignore audit listing for the named packages instead of
+// checking them.
 func Main(analyzers ...*Analyzer) {
 	fs := flag.NewFlagSet(filepath.Base(os.Args[0]), flag.ExitOnError)
 	versionFlag := fs.String("V", "", "print version and exit (cmd/go protocol)")
 	flagsFlag := fs.Bool("flags", false, "print analyzer flags in JSON (cmd/go protocol)")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as NDJSON on stdout instead of text on stderr")
+	ignoresFlag := fs.Bool("ignores", false, "list //spanlint:ignore sites in the named packages and exit")
 	selected := make(map[string]*bool, len(analyzers))
 	for _, a := range analyzers {
 		doc := a.Doc
@@ -73,7 +81,7 @@ func Main(analyzers ...*Analyzer) {
 		}
 		var out []jsonFlag
 		fs.VisitAll(func(f *flag.Flag) {
-			if f.Name == "V" || f.Name == "flags" {
+			if f.Name == "V" || f.Name == "flags" || f.Name == "json" || f.Name == "ignores" {
 				return
 			}
 			out = append(out, jsonFlag{Name: f.Name, Bool: true, Usage: f.Usage})
@@ -103,18 +111,31 @@ func Main(analyzers ...*Analyzer) {
 	}
 
 	args := fs.Args()
+	if *ignoresFlag {
+		if len(args) == 0 {
+			fmt.Fprintf(os.Stderr, "usage: %s -ignores packages...\n", filepath.Base(os.Args[0]))
+			os.Exit(2)
+		}
+		sites, err := ListIgnores(args)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		PrintIgnores(os.Stdout, sites)
+		os.Exit(0)
+	}
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		os.Exit(runUnit(args[0], enabled))
+		os.Exit(runUnit(args[0], enabled, *jsonFlag))
 	}
 	if len(args) == 0 {
 		fmt.Fprintf(os.Stderr, "usage: %s [-analyzer...] packages...\n", filepath.Base(os.Args[0]))
 		os.Exit(2)
 	}
-	os.Exit(runStandalone(args, enabled))
+	os.Exit(runStandalone(args, enabled, *jsonFlag))
 }
 
 // runUnit checks the single package described by a cmd/go vet config.
-func runUnit(cfgFile string, analyzers []*Analyzer) int {
+func runUnit(cfgFile string, analyzers []*Analyzer, asJSON bool) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -175,12 +196,12 @@ func runUnit(cfgFile string, analyzers []*Analyzer) int {
 	if len(diags) == 0 {
 		return 0
 	}
-	printDiags(fset, diags)
+	printDiags(fset, diags, asJSON)
 	return 2
 }
 
 // runStandalone loads the patterns itself and checks every matched package.
-func runStandalone(patterns []string, analyzers []*Analyzer) int {
+func runStandalone(patterns []string, analyzers []*Analyzer, asJSON bool) int {
 	pkgs, err := Load(patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -194,16 +215,33 @@ func runStandalone(patterns []string, analyzers []*Analyzer) int {
 			return 1
 		}
 		if len(diags) > 0 {
-			printDiags(pkg.Fset, diags)
+			printDiags(pkg.Fset, diags, asJSON)
 			exit = 2
 		}
 	}
 	return exit
 }
 
-func printDiags(fset *token.FileSet, diags []Diagnostic) {
+// printDiags writes the diagnostics: human-readable lines on stderr by
+// default, or (with -json) one JSON object per line on stdout — the
+// exit status carries the pass/fail either way.
+func printDiags(fset *token.FileSet, diags []Diagnostic, asJSON bool) {
+	if !asJSON {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		pos := fset.Position(d.Pos)
+		_ = enc.Encode(struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}{pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message})
 	}
 }
 

@@ -1,0 +1,16 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"spanners/internal/analysis/analysistest"
+	"spanners/internal/analyzers/goroleak"
+)
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, goroleak.Analyzer, "goroleak")
+}
+
+func TestGoroleakMainExempt(t *testing.T) {
+	analysistest.Run(t, goroleak.Analyzer, "goroleakmain")
+}

@@ -1,0 +1,150 @@
+// Fixture for the goroleak analyzer: miniatures of the engine/cluster
+// worker-pool shapes, plus the leak classes the contract forbids.
+package goroleak
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+func work(int)     {}
+func sinkAny(any)  {}
+func compute() int { return 1 }
+
+// --- clean launches ---
+
+func okCtxSelect(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				work(v)
+			}
+		}
+	}()
+}
+
+func okCtxErrPoll(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+			work(1)
+		}
+	}()
+}
+
+func okRangeOverChannel(jobs chan int) {
+	go func() {
+		for v := range jobs {
+			work(v)
+		}
+	}()
+}
+
+func okCommaOkReceive(jobs chan int) {
+	go func() {
+		for {
+			v, ok := <-jobs
+			if !ok {
+				return
+			}
+			work(v)
+		}
+	}()
+}
+
+func okDoneChannel(done chan struct{}, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-ch:
+				work(v)
+			}
+		}
+	}()
+}
+
+func okWaitGroup(xs []int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, x := range xs {
+			work(x)
+		}
+	}()
+	wg.Wait()
+}
+
+func okBoundedCompute(xs []int) {
+	// No loop that can run forever and no channel ops: a pure compute
+	// body terminates on its own and needs no guarantee.
+	go func() {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		sinkAny(s)
+	}()
+}
+
+func pump(ch chan int) {
+	for v := range ch {
+		work(v)
+	}
+}
+
+func okNamedLaunch(ch chan int) {
+	go pump(ch)
+}
+
+// --- leaks ---
+
+func leakyLoop() {
+	go func() { // want `goroutine has no termination guarantee`
+		for {
+			work(1)
+		}
+	}()
+}
+
+func leakyRecv(ch chan int) {
+	go func() { // want `goroutine has no termination guarantee`
+		v := <-ch
+		work(v)
+	}()
+}
+
+func spin() {
+	for {
+		work(1)
+	}
+}
+
+func leakyNamedLaunch() {
+	go spin() // want `goroutine has no termination guarantee`
+}
+
+func leakyUnresolvable() {
+	go fmt.Println("fire and forget") // want `cannot verify termination`
+}
+
+func leakyFuncValue(f func()) {
+	go f() // want `cannot verify termination`
+}
+
+func badWaitGroupNotAllPaths(cond bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `calls wg.Done on some paths only`
+		if cond {
+			return // skips Done: the launcher's Wait hangs forever
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,10 @@
+// Fixture: package main is exempt from goroleak — its goroutines die
+// with the process. The leaky launch below must produce no diagnostic.
+package main
+
+func main() {
+	go func() {
+		for {
+		}
+	}()
+}

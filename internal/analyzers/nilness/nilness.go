@@ -1,12 +1,19 @@
 // Package nilness reports uses that are guaranteed to panic because
-// they sit on the arm of a nil check where the value is known nil: a
-// field access through a nil pointer, a call of a nil function value, a
-// method call on a nil interface, indexing a nil slice, or writing to a
-// nil map. It is a deliberately conservative, syntax-directed cousin of
-// golang.org/x/tools' SSA-based nilness pass: only simple `x == nil` /
-// `x != nil` conditions are tracked, the whole arm is skipped if x is
-// reassigned anywhere in it, and function literals are not entered —
-// so every report is a genuine dead-on-arrival path.
+// the value is provably nil at the use: a field access through a nil
+// pointer, a call of a nil function value, a method call on a nil
+// interface, indexing a nil slice, or writing to a nil map.
+//
+// It is a forward must-be-nil dataflow over the shared control-flow
+// graphs of the ctrlflow analyzer: facts enter on the nil arm of an
+// `x == nil` / `x != nil` condition (via edge refinement) or from a
+// zero-value declaration of a nilable type, die at any assignment, and
+// survive a join only when every incoming path agrees — so every
+// report is a genuine dead-on-arrival path, including uses that sit
+// before a reassignment the old syntax-directed pass had to skip the
+// whole arm for. Variables whose address is taken, or that a nested
+// function literal assigns, are never tracked; function literals are
+// not entered when checking uses (they may run after the value is
+// assigned elsewhere).
 package nilness
 
 import (
@@ -20,160 +27,353 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "nilness",
 	Doc: "check for uses of provably nil values\n\n" +
-		"Flags dereferences, calls, indexing, and map writes on the arm of\n" +
-		"a nil check where the value is known to be nil.",
-	Run: run,
+		"Flags dereferences, calls, indexing, and map writes at points\n" +
+		"where flow analysis proves the value is nil on every path.",
+	Requires: []*analysis.Analyzer{analysis.CFGAnalyzer},
+	Run:      run,
 }
 
 func run(pass *analysis.Pass) (any, error) {
+	cfgs := pass.ResultOf[analysis.CFGAnalyzer].(*analysis.CFGs)
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
-			ifs, ok := n.(*ast.IfStmt)
-			if !ok {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
 				return true
 			}
-			v, arm := nilArm(pass, ifs)
-			if v == nil || arm == nil || reassigns(pass, arm, v) {
-				return true
+			if g := cfgs.FuncCFG(n); g != nil && body != nil {
+				c := &checker{pass: pass, excluded: excludedVars(pass, body)}
+				c.checkCFG(g)
 			}
-			checkArm(pass, arm, v)
-			return true
+			return true // nested function literals get their own flow
 		})
 	}
 	return nil, nil
 }
 
-// nilArm matches `if x == nil` / `if x != nil` over a nilable variable
-// and returns the arm on which x is nil (the body for ==, the else
-// block for !=).
-func nilArm(pass *analysis.Pass, ifs *ast.IfStmt) (*types.Var, *ast.BlockStmt) {
-	be, ok := ifs.Cond.(*ast.BinaryExpr)
-	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
-		return nil, nil
+// state is the set of variables known to be nil on every path reaching
+// this point.
+type state map[*types.Var]bool
+
+func (st state) clone() state {
+	c := make(state, len(st))
+	for v := range st {
+		c[v] = true
 	}
-	x := be.X
-	if isNilExpr(pass, x) {
-		x = be.Y
-	} else if !isNilExpr(pass, be.Y) {
-		return nil, nil
-	}
-	id, ok := x.(*ast.Ident)
-	if !ok {
-		return nil, nil
-	}
-	v, _ := pass.TypesInfo.Uses[id].(*types.Var)
-	if v == nil {
-		return nil, nil
-	}
-	if be.Op == token.EQL {
-		return v, ifs.Body
-	}
-	arm, _ := ifs.Else.(*ast.BlockStmt)
-	return v, arm
+	return c
 }
 
-func isNilExpr(pass *analysis.Pass, e ast.Expr) bool {
-	id, ok := e.(*ast.Ident)
-	if !ok {
+// join is set intersection: a variable stays known-nil only if both
+// incoming paths prove it.
+func join(dst, src state) state {
+	for v := range dst {
+		if !src[v] {
+			delete(dst, v)
+		}
+	}
+	return dst
+}
+
+func equal(a, b state) bool {
+	if len(a) != len(b) {
 		return false
 	}
-	_, isNilObj := pass.TypesInfo.Uses[id].(*types.Nil)
-	return isNilObj
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
 }
 
-// reassigns reports whether the arm assigns to v or takes its address —
-// either invalidates the nil fact for the rest of the arm, so the whole
-// arm is skipped.
-func reassigns(pass *analysis.Pass, arm *ast.BlockStmt, v *types.Var) bool {
-	found := false
-	ast.Inspect(arm, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			for _, lhs := range n.Lhs {
-				if isVar(pass, lhs, v) {
-					found = true
+type checker struct {
+	pass *analysis.Pass
+	// excluded vars never receive facts: their address is taken, or a
+	// nested function literal assigns them (either can invalidate a nil
+	// fact behind the analysis' back).
+	excluded map[*types.Var]bool
+}
+
+func (c *checker) checkCFG(g *analysis.CFG) {
+	flow := &analysis.Flow[state]{
+		CFG:   g,
+		Entry: state{},
+		Clone: state.clone,
+		Join:  join,
+		Equal: equal,
+		Transfer: func(b *analysis.Block, st state) state {
+			for _, n := range b.Nodes {
+				c.node(n, st, false)
+			}
+			return st
+		},
+		Edge: c.edge,
+	}
+	in, reached := flow.Solve()
+	for i, b := range g.Blocks {
+		if !reached[i] {
+			continue
+		}
+		st := in[i].clone()
+		for _, n := range b.Nodes {
+			c.node(n, st, true)
+		}
+	}
+}
+
+// node applies one CFG node: report uses of known-nil values first
+// (the RHS is evaluated before the LHS kills a fact), then update the
+// facts for assignments, declarations, and range bindings.
+func (c *checker) node(n ast.Node, st state, report bool) {
+	if report {
+		c.checkUses(n, st)
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, lhs := range n.Lhs {
+				v := c.lhsVar(lhs)
+				if v == nil {
+					continue
+				}
+				if c.isNil(n.Rhs[i]) && !c.excluded[v] {
+					st[v] = true
+				} else {
+					delete(st, v)
 				}
 			}
-		case *ast.UnaryExpr:
-			if n.Op == token.AND && isVar(pass, n.X, v) {
-				found = true
-			}
-		case *ast.RangeStmt:
-			if isVar(pass, n.Key, v) || isVar(pass, n.Value, v) {
-				found = true
+		} else {
+			for _, lhs := range n.Lhs {
+				if v := c.lhsVar(lhs); v != nil {
+					delete(st, v)
+				}
 			}
 		}
-		return !found
-	})
-	return found
-}
-
-func isVar(pass *analysis.Pass, e ast.Expr, v *types.Var) bool {
-	id, ok := e.(*ast.Ident)
-	return ok && pass.TypesInfo.Uses[id] == v
-}
-
-// checkArm flags the uses of v inside the arm that must panic given
-// v == nil. Function literals are not entered: they may run after v has
-// been assigned elsewhere.
-func checkArm(pass *analysis.Pass, arm *ast.BlockStmt, v *types.Var) {
-	t := v.Type().Underlying()
-	_, isMap := t.(*types.Map)
-
-	// Map writes must be spotted from the enclosing assignment: an
-	// IndexExpr alone could be a (well-defined) nil map read.
-	if isMap {
-		ast.Inspect(arm, func(n ast.Node) bool {
-			if _, ok := n.(*ast.FuncLit); ok {
-				return false
-			}
-			as, ok := n.(*ast.AssignStmt)
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
 			if !ok {
-				return true
+				continue
 			}
-			for _, lhs := range as.Lhs {
-				if ix, ok := lhs.(*ast.IndexExpr); ok && isVar(pass, ix.X, v) {
-					pass.Reportf(ix.Pos(), "write to nil map: %s is nil on this branch", v.Name())
+			for i, name := range vs.Names {
+				v, _ := c.pass.TypesInfo.Defs[name].(*types.Var)
+				if v == nil {
+					continue
+				}
+				switch {
+				case len(vs.Values) == 0:
+					if nilable(v.Type()) && !c.excluded[v] {
+						st[v] = true
+					}
+				case len(vs.Values) == len(vs.Names):
+					if c.isNil(vs.Values[i]) && !c.excluded[v] {
+						st[v] = true
+					} else {
+						delete(st, v)
+					}
+				default:
+					delete(st, v)
 				}
 			}
-			return true
-		})
-		return
+		}
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if e == nil {
+				continue
+			}
+			if v := c.lhsVar(e); v != nil {
+				delete(st, v)
+			}
+		}
 	}
+}
 
-	ast.Inspect(arm, func(n ast.Node) bool {
-		switch n := n.(type) {
+// edge refines the state along a conditional edge of an `x == nil` /
+// `x != nil` check: on the nil edge the fact enters, on the non-nil
+// edge it dies.
+func (c *checker) edge(from, to *analysis.Block, st state) state {
+	cond, taken, ok := analysis.CondEdge(from, to)
+	if !ok {
+		return st
+	}
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return st
+	}
+	x := be.X
+	if c.isNil(x) {
+		x = be.Y
+	} else if !c.isNil(be.Y) {
+		return st
+	}
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok {
+		return st
+	}
+	v, _ := c.pass.TypesInfo.Uses[id].(*types.Var)
+	if v == nil {
+		return st
+	}
+	if (be.Op == token.EQL) == taken {
+		if !c.excluded[v] {
+			st[v] = true
+		}
+	} else {
+		delete(st, v)
+	}
+	return st
+}
+
+// checkUses flags the uses inside n of variables known nil here.
+// Function literals are not entered. Nil map reads are well-defined and
+// stay quiet; a map write is spotted from its enclosing assignment.
+func (c *checker) checkUses(n ast.Node, st state) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
 		case *ast.FuncLit:
 			return false
-		case *ast.SelectorExpr:
-			if !isVar(pass, n.X, v) {
-				return true
-			}
-			switch t.(type) {
-			case *types.Pointer:
-				if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
-					pass.Reportf(n.Pos(), "nil dereference: %s is nil on this branch", v.Name())
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					if v := c.nilVarUse(ix.X, st); v != nil {
+						if _, isMap := v.Type().Underlying().(*types.Map); isMap {
+							c.pass.Reportf(ix.Pos(), "write to nil map: %s is nil on this branch", v.Name())
+						}
+					}
 				}
-			case *types.Interface:
-				pass.Reportf(n.Pos(), "method use on nil interface: %s is nil on this branch", v.Name())
+			}
+		case *ast.SelectorExpr:
+			if v := c.nilVarUse(m.X, st); v != nil {
+				switch v.Type().Underlying().(type) {
+				case *types.Pointer:
+					if sel, ok := c.pass.TypesInfo.Selections[m]; ok && sel.Kind() == types.FieldVal {
+						c.pass.Reportf(m.Pos(), "nil dereference: %s is nil on this branch", v.Name())
+					}
+				case *types.Interface:
+					c.pass.Reportf(m.Pos(), "method use on nil interface: %s is nil on this branch", v.Name())
+				}
 			}
 		case *ast.StarExpr:
-			if isVar(pass, n.X, v) {
-				pass.Reportf(n.Pos(), "nil dereference: %s is nil on this branch", v.Name())
+			if v := c.nilVarUse(m.X, st); v != nil {
+				if _, ok := v.Type().Underlying().(*types.Pointer); ok {
+					c.pass.Reportf(m.Pos(), "nil dereference: %s is nil on this branch", v.Name())
+				}
 			}
 		case *ast.CallExpr:
-			if isVar(pass, n.Fun, v) {
-				if _, ok := t.(*types.Signature); ok {
-					pass.Reportf(n.Pos(), "call of nil function: %s is nil on this branch", v.Name())
+			if v := c.nilVarUse(m.Fun, st); v != nil {
+				if _, ok := v.Type().Underlying().(*types.Signature); ok {
+					c.pass.Reportf(m.Pos(), "call of nil function: %s is nil on this branch", v.Name())
 				}
 			}
 		case *ast.IndexExpr:
-			if isVar(pass, n.X, v) {
-				if _, ok := t.(*types.Slice); ok {
-					pass.Reportf(n.Pos(), "index of nil slice: %s is nil on this branch", v.Name())
+			if v := c.nilVarUse(m.X, st); v != nil {
+				if _, ok := v.Type().Underlying().(*types.Slice); ok {
+					c.pass.Reportf(m.Pos(), "index of nil slice: %s is nil on this branch", v.Name())
 				}
 			}
 		}
 		return true
 	})
+}
+
+// nilVarUse resolves e to a variable currently known nil, or nil.
+func (c *checker) nilVarUse(e ast.Expr, st state) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := c.pass.TypesInfo.Uses[id].(*types.Var)
+	if v == nil || !st[v] {
+		return nil
+	}
+	return v
+}
+
+// lhsVar resolves an assignment target to its variable (for both = and
+// := forms); non-identifier targets return nil.
+func (c *checker) lhsVar(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := c.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := c.pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+func (c *checker) isNil(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := c.pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNilObj
+}
+
+// nilable reports whether t's zero value is nil.
+func nilable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Signature, *types.Interface, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// excludedVars collects the variables facts must never be recorded
+// for: address taken anywhere in the function (including inside nested
+// literals), or assigned by a nested function literal.
+func excludedVars(pass *analysis.Pass, body *ast.BlockStmt) map[*types.Var]bool {
+	ex := make(map[*types.Var]bool)
+	mark := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+				ex[v] = true
+			}
+		}
+	}
+	var walk func(n ast.Node, inLit bool)
+	walk = func(n ast.Node, inLit bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if !inLit {
+					walk(m.Body, true)
+					return false
+				}
+			case *ast.UnaryExpr:
+				if m.Op == token.AND {
+					mark(m.X)
+				}
+			case *ast.AssignStmt:
+				if inLit {
+					for _, lhs := range m.Lhs {
+						mark(lhs)
+					}
+				}
+			case *ast.RangeStmt:
+				if inLit {
+					if m.Key != nil {
+						mark(m.Key)
+					}
+					if m.Value != nil {
+						mark(m.Value)
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	return ex
 }

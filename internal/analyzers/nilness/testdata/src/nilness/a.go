@@ -55,6 +55,25 @@ func okReassigned(p *T) int {
 	return p.f
 }
 
+// The flow-sensitive pass reports the use before the reassignment and
+// stays quiet after it — the old syntax-directed pass had to skip the
+// whole arm.
+func badUseBeforeReassign(p *T) int {
+	if p == nil {
+		x := p.f // want `nil dereference: p is nil on this branch`
+		p = &T{}
+		return x + p.f
+	}
+	return p.f
+}
+
+// A zero-value declaration is a nil fact until the first assignment.
+func okDeclThenAssign() int {
+	var xs []int
+	xs = append(xs, 1)
+	return xs[0]
+}
+
 func okMapRead(m map[string]int) int {
 	if m == nil {
 		return m["k"] // nil map reads are well-defined

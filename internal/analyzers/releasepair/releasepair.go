@@ -7,16 +7,20 @@
 // engine.ProcessContext: an evaluation dropped on an early return keeps
 // its pooled arena from ever being reused.
 //
-// The analysis is structured and optimistic rather than a full CFG: it
-// interprets each function body in order, forking at if/switch/select and
-// rejoining (a value is safe only if every live branch handles it), and
-// treats any transfer of the value — passed as an argument, returned,
-// stored, sent, captured by a closure — as a handoff of the release
-// obligation. Two conventions are understood so idiomatic pairings do not
-// false-positive: on a path where the value is known nil (`if ev != nil
-// {...}` else-arm, or the error arm of `ev, err := ...; if err != nil`)
-// there is nothing to release, and a `defer ev.Release()` (directly or
-// inside a deferred closure) covers every subsequent path.
+// The analysis is a forward may-leak dataflow over the shared
+// control-flow graphs of the ctrlflow analyzer: at every exit of the
+// function (explicit return or falling off the closing brace — panic
+// exits are exempt) each acquired value must be handled on every path
+// reaching that exit, where handling means an explicit Release/Put, a
+// deferred one, or any transfer of the value — passed as an argument,
+// returned, stored, sent, captured by a closure — that hands the
+// obligation off. Acquiring again while the previous value is live and
+// unreleased (a loop-carried leak, or an overwrite in one branch) is
+// reported at the reacquisition site. Two conventions keep idiomatic
+// pairings quiet: on an edge where the value is known nil (`if ev !=
+// nil` else-arm, or the error arm of `ev, err := ...; if err != nil`)
+// there is nothing to release, and a `defer ev.Release()` covers every
+// subsequent path.
 package releasepair
 
 import (
@@ -32,27 +36,21 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "check that Preprocess/sync.Pool.Get results are released on all paths\n\n" +
 		"Every value acquired from a Preprocess/PreprocessContext method or\n" +
 		"sync.Pool.Get must reach Release/Put (or be handed off) on every\n" +
-		"return path of the acquiring function.",
-	Run: run,
+		"return path of the acquiring function, including paths through\n" +
+		"goto, labeled break/continue, and loop back-edges.",
+	Requires: []*analysis.Analyzer{analysis.CFGAnalyzer},
+	Run:      run,
 }
 
 func run(pass *analysis.Pass) (any, error) {
+	cfgs := pass.ResultOf[analysis.CFGAnalyzer].(*analysis.CFGs)
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
-			var body *ast.BlockStmt
-			switch fn := n.(type) {
-			case *ast.FuncDecl:
-				body = fn.Body
-			case *ast.FuncLit:
-				body = fn.Body
-			default:
-				return true
-			}
-			if body != nil {
-				f := &flow{pass: pass, acqs: make(map[*types.Var]*acquisition)}
-				st := make(state)
-				if !f.stmts(body.List, st) {
-					f.check(st, body.Rbrace)
+			switch n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				if g := cfgs.FuncCFG(n); g != nil {
+					c := &checker{pass: pass, acqs: make(map[*types.Var]*acquisition)}
+					c.checkCFG(g)
 				}
 			}
 			return true // nested function literals get their own flow
@@ -61,323 +59,235 @@ func run(pass *analysis.Pass) (any, error) {
 	return nil, nil
 }
 
-// acquisition is one tracked acquire site within a function context.
+// acquisition is one tracked acquire within a function context. A
+// variable keeps one record across reacquisitions; reported caps the
+// noise at one diagnostic per value.
 type acquisition struct {
 	pos      token.Pos
-	what     string     // "Preprocess", "PreprocessContext", or "sync.Pool.Get"
-	release  string     // the pairing call the diagnostic should name
-	errVar   *types.Var // the err of `ev, err := ...`, if any
+	what     string // "Preprocess", "PreprocessContext", or "sync.Pool.Get"
+	release  string // the pairing call the diagnostic should name
 	reported bool
 }
 
-// state maps each acquired variable to whether the current path has
-// handled it (released, deferred, or handed off).
-type state map[*types.Var]bool
+// state is the dataflow lattice: for each acquired variable, whether
+// every path reaching this point has handled it; and the live error
+// convention — errOf[err] = v records that `v, err := ...` paired them,
+// so an `err != nil` edge marks v nil. The association dies when err is
+// reassigned (flow-sensitively: only on paths through the
+// reassignment).
+type state struct {
+	handled map[*types.Var]bool
+	errOf   map[*types.Var]*types.Var
+}
+
+func newState() state {
+	return state{handled: make(map[*types.Var]bool), errOf: make(map[*types.Var]*types.Var)}
+}
 
 func (st state) clone() state {
-	c := make(state, len(st))
-	for k, v := range st {
-		c[k] = v
+	c := newState()
+	for k, v := range st.handled {
+		c.handled[k] = v
+	}
+	for k, v := range st.errOf {
+		c.errOf[k] = v
 	}
 	return c
 }
 
-type flow struct {
-	pass *analysis.Pass
-	acqs map[*types.Var]*acquisition
+// join merges a second incoming path: a value leaks at a point if ANY
+// path reaching it leaves the value unhandled, so present∧unhandled
+// wins; a path that never acquired contributes no obligation. The error
+// convention survives only where both paths agree.
+func join(dst, src state) state {
+	for v, h := range src.handled {
+		if dh, ok := dst.handled[v]; ok {
+			dst.handled[v] = dh && h
+		} else {
+			dst.handled[v] = h
+		}
+	}
+	for e, v := range dst.errOf {
+		if src.errOf[e] != v {
+			delete(dst.errOf, e)
+		}
+	}
+	return dst
 }
 
-// check reports every variable still unhandled when a path leaves the
-// function; one report per acquisition.
-func (f *flow) check(st state, at token.Pos) {
-	for v, handled := range st {
-		if handled {
+func equal(a, b state) bool {
+	if len(a.handled) != len(b.handled) || len(a.errOf) != len(b.errOf) {
+		return false
+	}
+	for v, h := range a.handled {
+		if bh, ok := b.handled[v]; !ok || bh != h {
+			return false
+		}
+	}
+	for e, v := range a.errOf {
+		if b.errOf[e] != v {
+			return false
+		}
+	}
+	return true
+}
+
+type checker struct {
+	pass *analysis.Pass
+	acqs map[*types.Var]*acquisition
+	// order fixes the reporting order of acquisitions (maps iterate
+	// randomly; diagnostics must not).
+	order []*types.Var
+}
+
+func (c *checker) checkCFG(g *analysis.CFG) {
+	flow := &analysis.Flow[state]{
+		CFG:   g,
+		Entry: newState(),
+		Clone: state.clone,
+		Join:  join,
+		Equal: equal,
+		Transfer: func(b *analysis.Block, st state) state {
+			for _, n := range b.Nodes {
+				c.node(n, st, false)
+			}
+			return st
+		},
+		Edge: c.edge,
+	}
+	in, reached := flow.Solve()
+
+	// Reporting is a separate pass over the solved states so that the
+	// fixpoint iteration cannot duplicate or reorder diagnostics.
+	for i, b := range g.Blocks {
+		if !reached[i] {
 			continue
 		}
-		a := f.acqs[v]
-		if a == nil || a.reported {
+		st := in[i].clone()
+		for _, n := range b.Nodes {
+			c.node(n, st, true)
+		}
+		switch b.Exit {
+		case analysis.ExitReturn:
+			c.leaks(st, b.Nodes[len(b.Nodes)-1].Pos())
+		case analysis.ExitFall:
+			c.leaks(st, g.End)
+		}
+		// ExitPanic: a terminating call ends the path; deferred releases
+		// still run and nothing here can model recover, so panic exits
+		// are exempt (as before the CFG rewrite).
+	}
+}
+
+// leaks reports every acquisition still unhandled when a path leaves
+// the function; one report per acquisition.
+func (c *checker) leaks(st state, at token.Pos) {
+	for _, v := range c.order {
+		h, present := st.handled[v]
+		if !present || h {
+			continue
+		}
+		a := c.acqs[v]
+		if a.reported {
 			continue
 		}
 		a.reported = true
-		f.pass.Reportf(at, "%s result %q (line %d) is not released on this path; call %s before returning, or hand the value off",
-			a.what, v.Name(), f.pass.Fset.Position(a.pos).Line, a.release)
+		c.pass.Reportf(at, "%s result %q (line %d) is not released on this path; call %s before returning, or hand the value off",
+			a.what, v.Name(), c.pass.Fset.Position(a.pos).Line, a.release)
 	}
 }
 
-// stmts interprets a statement list; the returned bool reports whether
-// the path terminated (return/panic/branch) before reaching the end.
-func (f *flow) stmts(list []ast.Stmt, st state) bool {
-	for _, s := range list {
-		if f.stmt(s, st) {
-			return true
-		}
-	}
-	return false
-}
-
-func (f *flow) stmt(s ast.Stmt, st state) bool {
-	switch s := s.(type) {
+// node applies one block node to the state. With report set (the
+// post-fixpoint pass) it also emits reacquisition diagnostics.
+func (c *checker) node(n ast.Node, st state, report bool) {
+	switch n := n.(type) {
 	case *ast.AssignStmt:
-		f.scanExprs(s.Rhs, st)
-		f.clearErrVars(s.Lhs)
-		f.acquire(s.Lhs, s.Rhs, st)
+		c.scanExprs(n.Rhs, st)
+		c.clearErrVars(n.Lhs, st)
+		c.acquire(n.Lhs, n.Rhs, st, report)
 	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
 			for _, spec := range gd.Specs {
 				if vs, ok := spec.(*ast.ValueSpec); ok {
-					f.scanExprs(vs.Values, st)
+					c.scanExprs(vs.Values, st)
 					lhs := make([]ast.Expr, len(vs.Names))
-					for i, n := range vs.Names {
-						lhs[i] = n
+					for i, name := range vs.Names {
+						lhs[i] = name
 					}
-					f.acquire(lhs, vs.Values, st)
+					c.acquire(lhs, vs.Values, st, report)
 				}
 			}
 		}
 	case *ast.ExprStmt:
-		if isTerminalCall(s.X) {
-			return true
-		}
-		f.scanExpr(s.X, st)
+		c.scanExpr(n.X, st)
 	case *ast.SendStmt:
-		f.scanExpr(s.Chan, st)
-		f.scanExpr(s.Value, st)
+		c.scanExpr(n.Chan, st)
+		c.scanExpr(n.Value, st)
 	case *ast.IncDecStmt:
-		f.scanExpr(s.X, st)
+		c.scanExpr(n.X, st)
 	case *ast.DeferStmt:
 		// A deferred Release/Put — or any deferred closure touching the
 		// value — covers every path from here on.
-		f.scanExpr(s.Call, st)
+		c.scanExpr(n.Call, st)
 	case *ast.GoStmt:
-		f.scanExpr(s.Call, st)
+		c.scanExpr(n.Call, st)
 	case *ast.ReturnStmt:
-		f.scanExprs(s.Results, st)
-		f.check(st, s.Pos())
-		return true
-	case *ast.BranchStmt:
-		// break/continue/goto leave the enclosing construct; treated as
-		// path end without a leak check (optimistic).
-		return true
-	case *ast.BlockStmt:
-		return f.stmts(s.List, st)
-	case *ast.LabeledStmt:
-		return f.stmt(s.Stmt, st)
-	case *ast.IfStmt:
-		return f.ifStmt(s, st)
-	case *ast.ForStmt:
-		if s.Init != nil {
-			f.stmt(s.Init, st)
-		}
-		if s.Cond != nil {
-			f.scanExpr(s.Cond, st)
-		}
-		if s.Post != nil {
-			f.stmt(s.Post, st)
-		}
-		// One optimistic pass: handles established inside the body are
-		// trusted to hold (the zero-iteration case is accepted).
-		f.stmts(s.Body.List, st)
+		c.scanExprs(n.Results, st) // returning the value hands it off
 	case *ast.RangeStmt:
-		f.scanExpr(s.X, st)
-		f.stmts(s.Body.List, st)
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		return f.branching(s, st)
-	}
-	return false
-}
-
-// ifStmt forks the state at a conditional, applying nil-refinements, and
-// rejoins: a value is handled after the if only if every arm that can
-// fall through handled it.
-func (f *flow) ifStmt(s *ast.IfStmt, st state) bool {
-	if s.Init != nil {
-		f.stmt(s.Init, st)
-	}
-	f.scanExpr(s.Cond, st)
-	thenSt, elseSt := st.clone(), st.clone()
-	f.refine(s.Cond, thenSt, elseSt)
-
-	thenTerm := f.stmts(s.Body.List, thenSt)
-	elseTerm := false
-	if s.Else != nil {
-		elseTerm = f.stmt(s.Else, elseSt)
-	}
-	switch {
-	case thenTerm && elseTerm:
-		return true
-	case thenTerm:
-		merge(st, elseSt)
-	case elseTerm:
-		merge(st, thenSt)
-	default:
-		for v := range st {
-			st[v] = thenSt[v] && elseSt[v]
-		}
-		for v := range thenSt { // vars acquired inside the arms
-			if _, ok := st[v]; !ok {
-				st[v] = thenSt[v] && elseSt[v]
-			}
-		}
-		for v := range elseSt {
-			if _, ok := st[v]; !ok {
-				st[v] = thenSt[v] && elseSt[v]
-			}
-		}
-	}
-	return false
-}
-
-// branching handles switch/type-switch/select: each clause forks the
-// state; a value is handled afterwards only if every clause that can
-// fall through handled it (and, for switches without a default, the
-// no-match path leaves it as-is).
-func (f *flow) branching(s ast.Stmt, st state) bool {
-	var clauses []ast.Stmt
-	hasDefault := false
-	exhaustiveIfDefault := true
-
-	switch s := s.(type) {
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			f.stmt(s.Init, st)
-		}
-		if s.Tag != nil {
-			f.scanExpr(s.Tag, st)
-		}
-		clauses = s.Body.List
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			f.stmt(s.Init, st)
-		}
-		f.stmt(s.Assign, st)
-		clauses = s.Body.List
-	case *ast.SelectStmt:
-		clauses = s.Body.List
-		hasDefault = true // select blocks: no implicit no-match path
-		exhaustiveIfDefault = false
-	}
-
-	var fallthroughs []state
-	allTerm := true
-	for _, c := range clauses {
-		var body []ast.Stmt
-		cst := st.clone()
-		switch c := c.(type) {
-		case *ast.CaseClause:
-			f.scanExprs(c.List, st)
-			if c.List == nil {
-				hasDefault = true
-			}
-			body = c.Body
-		case *ast.CommClause:
-			if c.Comm != nil {
-				f.stmt(c.Comm, cst) // comm ops may hand values off
-			} else if exhaustiveIfDefault {
-				hasDefault = true
-			}
-			body = c.Body
-		}
-		if !f.stmts(body, cst) {
-			allTerm = false
-			fallthroughs = append(fallthroughs, cst)
-		}
-	}
-	if !hasDefault {
-		// No default: the switch may match nothing and fall through with
-		// the incoming state untouched.
-		allTerm = false
-		fallthroughs = append(fallthroughs, st.clone())
-	}
-	if allTerm && len(clauses) > 0 {
-		return true
-	}
-	keys := make(map[*types.Var]bool)
-	for _, fs := range fallthroughs {
-		for v := range fs {
-			keys[v] = true
-		}
-	}
-	for v := range keys {
-		handled := true
-		for _, fs := range fallthroughs {
-			if !fs[v] {
-				handled = false
-				break
-			}
-		}
-		st[v] = handled
-	}
-	return false
-}
-
-func merge(dst, src state) {
-	for v, h := range src {
-		dst[v] = h
+		c.scanExpr(n.X, st)
+		c.clearErrVars([]ast.Expr{n.Key, n.Value}, st)
+	case ast.Expr:
+		// if/for conditions, switch tags, and case expressions.
+		c.scanExpr(n, st)
 	}
 }
 
-// refine applies nil-path knowledge from an if condition: in the arm
-// where a tracked value is nil (directly, or via the error convention of
-// its paired err variable) there is nothing left to release.
-func (f *flow) refine(cond ast.Expr, thenSt, elseSt state) {
-	be, ok := cond.(*ast.BinaryExpr)
+// edge refines the state along a conditional edge: on the edge where a
+// tracked value is known nil there is nothing to release, and on the
+// edge where a paired err is known non-nil the acquired result is nil
+// by the error convention.
+func (c *checker) edge(from, to *analysis.Block, st state) state {
+	cond, taken, ok := analysis.CondEdge(from, to)
 	if !ok {
-		return
+		return st
 	}
-	if be.Op != token.EQL && be.Op != token.NEQ {
-		return
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return st
 	}
-	x, y := be.X, be.Y
-	if isNil(f.pass, y) {
-		// fallthrough with x as the value
-	} else if isNil(f.pass, x) {
-		x = y
-	} else {
-		return
+	x := be.X
+	if isNil(c.pass, x) {
+		x = be.Y
+	} else if !isNil(c.pass, be.Y) {
+		return st
 	}
-	id, ok := x.(*ast.Ident)
+	id, ok := ast.Unparen(x).(*ast.Ident)
 	if !ok {
-		return
+		return st
 	}
-	obj, _ := f.pass.TypesInfo.Uses[id].(*types.Var)
+	obj, _ := c.pass.TypesInfo.Uses[id].(*types.Var)
 	if obj == nil {
-		return
+		return st
 	}
-	nilArm := thenSt // `x == nil` → then-arm has x nil
-	if be.Op == token.NEQ {
-		nilArm = elseSt
-	}
-	if _, tracked := nilArm[obj]; tracked {
-		nilArm[obj] = true
-		return
-	}
-	// The error convention: on the arm where err != nil the paired
-	// result is nil by contract.
-	for v, a := range f.acqs {
-		if a.errVar == obj {
-			errArm := elseSt // `err == nil` → err non-nil on the else-arm
-			if be.Op == token.NEQ {
-				errArm = thenSt
-			}
-			if _, tracked := errArm[v]; tracked {
-				errArm[v] = true
-			}
+	nilHere := (be.Op == token.EQL) == taken // obj is nil along this edge
+	if nilHere {
+		if _, present := st.handled[obj]; present {
+			st.handled[obj] = true
+		}
+	} else if v := st.errOf[obj]; v != nil {
+		// obj (an err) is non-nil here: its paired result is nil.
+		if _, present := st.handled[v]; present {
+			st.handled[v] = true
 		}
 	}
+	return st
 }
 
-func isNil(pass *analysis.Pass, e ast.Expr) bool {
-	id, ok := e.(*ast.Ident)
-	if !ok {
-		return false
-	}
-	_, isNilObj := pass.TypesInfo.Uses[id].(*types.Nil)
-	return isNilObj
-}
-
-// acquire records a tracked acquisition when the single RHS call has the
-// Preprocess/pool.Get shape and the first LHS is a plain variable.
-func (f *flow) acquire(lhs, rhs []ast.Expr, st state) {
+// acquire records a tracked acquisition when the single RHS call has
+// the Preprocess/pool.Get shape and the first LHS is a plain variable.
+// Reacquiring while the previous value is live and unhandled is itself
+// a leak (the loop-carried class), reported at the new call.
+func (c *checker) acquire(lhs, rhs []ast.Expr, st state, report bool) {
 	if len(rhs) != 1 || len(lhs) == 0 {
 		return
 	}
@@ -389,7 +299,7 @@ func (f *flow) acquire(lhs, rhs []ast.Expr, st state) {
 	if !ok {
 		return
 	}
-	what, release, ok := f.acquireKind(call)
+	what, release, ok := c.acquireKind(call)
 	if !ok {
 		return
 	}
@@ -397,49 +307,54 @@ func (f *flow) acquire(lhs, rhs []ast.Expr, st state) {
 	if !ok || id.Name == "_" {
 		return
 	}
-	v := f.defOrUse(id)
+	v := c.defOrUse(id)
 	if v == nil {
 		return
 	}
-	a := &acquisition{pos: call.Pos(), what: what, release: release}
-	if len(lhs) == 2 {
-		if eid, ok := lhs[1].(*ast.Ident); ok && eid.Name != "_" {
-			if ev := f.defOrUse(eid); ev != nil && isErrorVar(ev) {
-				a.errVar = ev
+	if report {
+		if h, present := st.handled[v]; present && !h {
+			if a := c.acqs[v]; a != nil && !a.reported {
+				a.reported = true
+				c.pass.Reportf(call.Pos(), "%s result %q (line %d) is not released before this reacquisition; release it or hand it off first",
+					a.what, v.Name(), c.pass.Fset.Position(a.pos).Line)
 			}
 		}
 	}
-	f.acqs[v] = a
-	st[v] = false
+	if c.acqs[v] == nil {
+		c.acqs[v] = &acquisition{pos: call.Pos(), what: what, release: release}
+		c.order = append(c.order, v)
+	}
+	st.handled[v] = false
+	if len(lhs) == 2 {
+		if eid, ok := lhs[1].(*ast.Ident); ok && eid.Name != "_" {
+			if ev := c.defOrUse(eid); ev != nil && isErrorVar(ev) {
+				st.errOf[ev] = v
+			}
+		}
+	}
 }
 
 // clearErrVars drops the error-convention association for any err
-// variable being reassigned: `ok, err := other()` reuses the same err
-// object, and a later `if err != nil` then says nothing about the
-// earlier acquisition.
-func (f *flow) clearErrVars(lhs []ast.Expr) {
+// variable being reassigned on this path: `ok, err := other()` reuses
+// the same err object, and a later `if err != nil` then says nothing
+// about the earlier acquisition.
+func (c *checker) clearErrVars(lhs []ast.Expr, st state) {
 	for _, e := range lhs {
 		id, ok := e.(*ast.Ident)
 		if !ok {
 			continue
 		}
-		v := f.defOrUse(id)
-		if v == nil {
-			continue
-		}
-		for _, a := range f.acqs {
-			if a.errVar == v {
-				a.errVar = nil
-			}
+		if v := c.defOrUse(id); v != nil {
+			delete(st.errOf, v)
 		}
 	}
 }
 
-func (f *flow) defOrUse(id *ast.Ident) *types.Var {
-	if v, ok := f.pass.TypesInfo.Defs[id].(*types.Var); ok {
+func (c *checker) defOrUse(id *ast.Ident) *types.Var {
+	if v, ok := c.pass.TypesInfo.Defs[id].(*types.Var); ok {
 		return v
 	}
-	v, _ := f.pass.TypesInfo.Uses[id].(*types.Var)
+	v, _ := c.pass.TypesInfo.Uses[id].(*types.Var)
 	return v
 }
 
@@ -449,12 +364,12 @@ func isErrorVar(v *types.Var) bool {
 }
 
 // acquireKind classifies a call as a tracked acquisition.
-func (f *flow) acquireKind(call *ast.CallExpr) (what, release string, ok bool) {
+func (c *checker) acquireKind(call *ast.CallExpr) (what, release string, ok bool) {
 	sel, isSel := call.Fun.(*ast.SelectorExpr)
 	if !isSel {
 		return "", "", false
 	}
-	fn, _ := f.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	fn, _ := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
 	if fn == nil {
 		return "", "", false
 	}
@@ -490,9 +405,9 @@ func hasRelease(t types.Type) bool {
 	return false
 }
 
-func (f *flow) scanExprs(exprs []ast.Expr, st state) {
+func (c *checker) scanExprs(exprs []ast.Expr, st state) {
 	for _, e := range exprs {
-		f.scanExpr(e, st)
+		c.scanExpr(e, st)
 	}
 }
 
@@ -501,7 +416,7 @@ func (f *flow) scanExprs(exprs []ast.Expr, st state) {
 // x.Release(), a pool.Put(x), x passed as any call argument, stored,
 // returned, sent, addressed, or captured by a function literal. A plain
 // method call ON the value (ev.Enumerate(...)) keeps the obligation.
-func (f *flow) scanExpr(e ast.Expr, st state) {
+func (c *checker) scanExpr(e ast.Expr, st state) {
 	if e == nil {
 		return
 	}
@@ -512,15 +427,15 @@ func (f *flow) scanExpr(e ast.Expr, st state) {
 			// release obligation; skip its ident operand so `if ev != nil`
 			// does not count as a handoff.
 			if (n.Op == token.EQL || n.Op == token.NEQ) &&
-				(isNil(f.pass, n.X) || isNil(f.pass, n.Y)) {
-				if !isNil(f.pass, n.X) {
+				(isNil(c.pass, n.X) || isNil(c.pass, n.Y)) {
+				if !isNil(c.pass, n.X) {
 					if _, plain := n.X.(*ast.Ident); !plain {
-						f.scanExpr(n.X, st)
+						c.scanExpr(n.X, st)
 					}
 				}
-				if !isNil(f.pass, n.Y) {
+				if !isNil(c.pass, n.Y) {
 					if _, plain := n.Y.(*ast.Ident); !plain {
-						f.scanExpr(n.Y, st)
+						c.scanExpr(n.Y, st)
 					}
 				}
 				return false
@@ -528,55 +443,46 @@ func (f *flow) scanExpr(e ast.Expr, st state) {
 		case *ast.CallExpr:
 			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
 				if id, ok := sel.X.(*ast.Ident); ok {
-					if v := f.trackedUse(id); v != nil {
+					if v := c.trackedUse(id, st); v != nil {
 						if sel.Sel.Name == "Release" {
-							st[v] = true
+							st.handled[v] = true
 						}
 						// Receiver position: not a handoff. Scan only the
 						// arguments.
 						for _, arg := range n.Args {
-							f.scanExpr(arg, st)
+							c.scanExpr(arg, st)
 						}
 						return false
 					}
 				}
 			}
 		case *ast.Ident:
-			if v := f.trackedUse(n); v != nil {
-				st[v] = true // any non-receiver appearance transfers the obligation
+			if v := c.trackedUse(n, st); v != nil {
+				st.handled[v] = true // any non-receiver appearance transfers the obligation
 			}
 		}
 		return true
 	})
 }
 
-// trackedUse resolves an ident to a tracked variable, or nil.
-func (f *flow) trackedUse(id *ast.Ident) *types.Var {
-	v, _ := f.pass.TypesInfo.Uses[id].(*types.Var)
+// trackedUse resolves an ident to a variable carrying a live obligation
+// on this path, or nil.
+func (c *checker) trackedUse(id *ast.Ident, st state) *types.Var {
+	v, _ := c.pass.TypesInfo.Uses[id].(*types.Var)
 	if v == nil {
 		return nil
 	}
-	if _, ok := f.acqs[v]; !ok {
+	if _, ok := st.handled[v]; !ok {
 		return nil
 	}
 	return v
 }
 
-// isTerminalCall recognizes calls that end the path without returning:
-// panic, os.Exit, log.Fatal*, testing's Fatal*/Skip*.
-func isTerminalCall(e ast.Expr) bool {
-	call, ok := e.(*ast.CallExpr)
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
 	if !ok {
 		return false
 	}
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		return fun.Name == "panic"
-	case *ast.SelectorExpr:
-		switch fun.Sel.Name {
-		case "Exit", "Fatal", "Fatalf", "Fatalln", "Skip", "Skipf", "SkipNow", "FailNow", "Goexit":
-			return true
-		}
-	}
-	return false
+	_, isNilObj := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNilObj
 }

@@ -1,0 +1,124 @@
+// Fixtures for the leak classes only visible to a real CFG: loop-carried
+// reacquisition, goto over the release, labeled continue skipping it, and
+// a release only on the fallthrough-entry path of a switch. The PR-8
+// structured walk missed every firing case in this file.
+package releasepair
+
+// --- leaks the block-walk could not see ---
+
+func badLoopCarried(s *Spanner, docs []string) {
+	var ev *Evaluation
+	for _, d := range docs {
+		ev = s.Preprocess(d) // want `Preprocess result "ev" \(line \d+\) is not released before this reacquisition`
+		_ = ev.Count()
+	}
+	// Releasing only the final iteration's value: every earlier
+	// iteration leaked its evaluation.
+	if ev != nil {
+		ev.Release()
+	}
+}
+
+func badGotoSkip(s *Spanner, b bool) {
+	ev := s.Preprocess("d")
+	if b {
+		goto out
+	}
+	ev.Release()
+out:
+	_ = b
+} // want `Preprocess result "ev" \(line \d+\) is not released on this path`
+
+func badLabeledContinue(s *Spanner, docs []string) {
+loop:
+	for _, d := range docs {
+		ev := s.Preprocess(d) // want `Preprocess result "ev" \(line \d+\) is not released before this reacquisition`
+		if d == "" {
+			continue loop
+		}
+		ev.Release()
+	}
+}
+
+func badFallthroughRejoin(s *Spanner, x int) {
+	ev := s.Preprocess("d")
+	switch x {
+	case 1:
+		ev.Release()
+		fallthrough
+	case 2:
+		// Entered either from the head (ev live) or by fallthrough (ev
+		// released): the join must keep the leaky path alive.
+		_ = x
+		break
+	default:
+		break
+	}
+} // want `Preprocess result "ev" \(line \d+\) is not released on this path`
+
+func badOverwrite(s *Spanner, b bool) {
+	ev := s.Preprocess("a")
+	if b {
+		ev = s.Preprocess("b") // want `Preprocess result "ev" \(line \d+\) is not released before this reacquisition`
+	}
+	ev.Release()
+}
+
+// --- clean counterparts ---
+
+func okLoopRelease(s *Spanner, docs []string) {
+	for _, d := range docs {
+		ev := s.Preprocess(d)
+		_ = ev.Count()
+		ev.Release()
+	}
+}
+
+func okGotoAfterRelease(s *Spanner, b bool) {
+	ev := s.Preprocess("d")
+	ev.Release()
+	if b {
+		goto out
+	}
+	_ = b
+out:
+	_ = b
+}
+
+func okLabeledContinueAfterRelease(s *Spanner, docs []string) {
+loop:
+	for _, d := range docs {
+		ev := s.Preprocess(d)
+		ev.Release()
+		if d == "" {
+			continue loop
+		}
+	}
+}
+
+func okFallthroughBothPaths(s *Spanner, x int) {
+	ev := s.Preprocess("d")
+	switch x {
+	case 1:
+		fallthrough
+	case 2:
+		ev.Release()
+	default:
+		ev.Release()
+	}
+}
+
+func okSequentialReacquire(s *Spanner) {
+	ev := s.Preprocess("a")
+	ev.Release()
+	ev = s.Preprocess("b")
+	ev.Release()
+}
+
+func okPanicPath(s *Spanner, b bool) {
+	ev := s.Preprocess("d")
+	if b {
+		panic("boom") // panic exits are exempt: recover/deferred cleanup are out of scope
+	}
+	ev.Release()
+}

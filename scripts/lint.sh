@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# lint.sh — the repo's one-command static gate, run by CI and usable
+# locally before every push:
+#
+#   1. gofmt        — formatting gate over the whole tree
+#   2. go vet       — the stock analyzers
+#   3. spanlint     — the custom multichecker (cmd/spanlint) as a
+#                     vettool over ./..., hard-failing on any finding
+#   4. ignore audit — print every //spanlint:ignore waiver with its
+#                     justification, so suppressions stay reviewable
+#   5. analyzer fixture tests — the analyzers' own test suites
+#
+# Usage: ./scripts/lint.sh   (from the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+  echo "gofmt needed on:"
+  echo "$out"
+  exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> spanlint (vettool, hard fail)"
+spanlint_bin=$(mktemp -d)/spanlint
+trap 'rm -rf "$(dirname "$spanlint_bin")"' EXIT
+go build -o "$spanlint_bin" ./cmd/spanlint
+go vet -vettool="$spanlint_bin" ./...
+
+echo "==> spanlint ignore audit"
+"$spanlint_bin" -ignores ./... || {
+  echo "ignore audit failed" >&2
+  exit 1
+}
+
+echo "==> analyzer fixture tests"
+go test ./internal/analysis/... ./internal/analyzers/... ./cmd/spanlint/
+
+echo "lint: all gates passed"

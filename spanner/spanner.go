@@ -197,8 +197,11 @@ type Spanner struct {
 
 	dense *eva.Compiled // strict path; nil in lazy mode
 
-	mu   sync.Mutex // guards lazy, whose memo tables mutate during evaluation
-	lazy *eva.Lazy  // lazy path; nil in strict mode
+	// guards lazy, whose memo tables mutate during evaluation; pairing
+	// and ordering of this lock are machine-checked by the lockorder
+	// analyzer in cmd/spanlint.
+	mu   sync.Mutex
+	lazy *eva.Lazy // lazy path; nil in strict mode
 
 	// scratch pools per-document evaluation state (Algorithm 1 tables plus
 	// the DAG arena) across the bounded-lifetime entry points (Enumerate,
