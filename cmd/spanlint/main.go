@@ -6,8 +6,15 @@
 // cancelable loops in ...Context methods, spannerd's strict JSON
 // decoding, the lock-free Stats path — plus conservative shadow and
 // nilness checks. The path-sensitive analyzers (releasepair, goroleak,
-// lockorder, nilness) share one control-flow graph per function, built
-// by the ctrlflow pass in internal/analysis.
+// lockorder, nilness, taintflow) share one control-flow graph per
+// function, built by the ctrlflow pass in internal/analysis.
+//
+// Two analyzers are interprocedural: hotalloc proves the functions
+// annotated `spanlint:hotpath` transitively allocation-free, and
+// taintflow tracks attacker-controlled request values into
+// allocation/overflow sinks. Both export per-function summaries as
+// facts, serialized per package (.vetx files under go vet, a shared
+// in-process store standalone) and merged across the import graph.
 //
 // It runs two ways:
 //
@@ -31,12 +38,14 @@ import (
 	"spanners/internal/analyzers/atomicfield"
 	"spanners/internal/analyzers/ctxloop"
 	"spanners/internal/analyzers/goroleak"
+	"spanners/internal/analyzers/hotalloc"
 	"spanners/internal/analyzers/lockorder"
 	"spanners/internal/analyzers/nilness"
 	"spanners/internal/analyzers/nolockstats"
 	"spanners/internal/analyzers/releasepair"
 	"spanners/internal/analyzers/shadow"
 	"spanners/internal/analyzers/strictdecode"
+	"spanners/internal/analyzers/taintflow"
 )
 
 func main() {
@@ -50,5 +59,7 @@ func main() {
 		nolockstats.Analyzer,
 		shadow.Analyzer,
 		nilness.Analyzer,
+		hotalloc.Analyzer,
+		taintflow.Analyzer,
 	)
 }

@@ -146,6 +146,14 @@ func TestCorpusRegistrationErrors(t *testing.T) {
 			t.Errorf("%s: %d %s, want %d", tc.name, code, body, tc.code)
 		}
 	}
+	// The document-count bound must be enforced by the handler before the
+	// request docs are materialized as [][]byte: the 400 has to come from
+	// the server's pre-check, not from the registry, which only runs after
+	// the allocation the check exists to prevent (taintflow pins the same
+	// property statically).
+	if code, body := post(t, ts, "/v1/corpus/c", corpusRequest{Docs: make([]string, 100)}); code != http.StatusBadRequest || !strings.Contains(body, "this server accepts at most") {
+		t.Errorf("doc-count bound: %d %s, want a 400 from the handler pre-check", code, body)
+	}
 	// Enumerating an unregistered corpus is a 404, not a 400: the request
 	// is well-formed, the name just doesn't resolve.
 	if code, body := post(t, ts, "/v1/enumerate?corpus=nope", map[string]any{"query": "/a/"}); code != http.StatusNotFound {

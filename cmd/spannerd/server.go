@@ -571,6 +571,14 @@ func (s *server) handleCorpusRegister(w http.ResponseWriter, r *http.Request) {
 	if shards == 0 {
 		shards = s.cfg.shards
 	}
+	// The registry enforces its own document cap, but only after this
+	// handler has materialized the [][]byte — and the body limit alone
+	// admits millions of empty documents. Bound the count first so the
+	// allocation below is never sized by an unvalidated request field.
+	if max := s.corpusDocLimit(); len(req.Docs) > max {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("corpus has %d documents; this server accepts at most %d", len(req.Docs), max))
+		return
+	}
 	docs := make([][]byte, len(req.Docs))
 	for i, d := range req.Docs {
 		docs[i] = []byte(d)
@@ -581,6 +589,15 @@ func (s *server) handleCorpusRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, snapInfo(snap, false))
+}
+
+// corpusDocLimit mirrors the registry's per-corpus document cap so the
+// registration handler can reject oversized corpora before allocating.
+func (s *server) corpusDocLimit() int {
+	if l := s.cfg.corpusLimits.MaxDocs; l > 0 {
+		return l
+	}
+	return corpus.DefaultMaxDocs
 }
 
 // corpusBodyLimit bounds the registration body: the registry's byte limit

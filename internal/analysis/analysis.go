@@ -7,8 +7,11 @@
 // reimplemented here against the standard library; analyzer code written
 // for this package ports to x/tools by changing one import path.
 //
-// Deliberate omissions versus x/tools: no Facts (every analyzer in
-// internal/analyzers is package-local), no SSA, and no suggested fixes.
+// Deliberate omissions versus x/tools: no SSA and no suggested fixes.
+// Object facts (facts.go) are supported: an analyzer declaring FactTypes
+// may export per-object summaries that flow across the import graph in
+// both execution modes, which is what makes the hotalloc/taintflow
+// family interprocedural.
 //
 // Diagnostics can be suppressed at the site with a comment on the same
 // line or the line above:
@@ -41,6 +44,11 @@ type Analyzer struct {
 	// analyzers as Pass.ResultOf[this]; analyzers without dependents
 	// return nil.
 	Run func(*Pass) (any, error)
+	// FactTypes declares the fact types this analyzer exports or imports
+	// (one zero value per type). A non-empty list opts the analyzer into
+	// fact-only dependency runs: it executes on every package of the
+	// import graph, not just the checked targets.
+	FactTypes []Fact
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -57,6 +65,7 @@ type Pass struct {
 	ResultOf map[*Analyzer]any
 
 	report func(Diagnostic)
+	facts  *FactStore
 }
 
 // Report emits one diagnostic.

@@ -7,28 +7,45 @@ import (
 )
 
 // IgnoreSite is one //spanlint:ignore suppression found in the source:
-// the place, the analyzer names it shields, and the justification the
-// author gave. The audit listing (spanlint -ignores) exists so the
-// waivers the lint gate is honoring stay reviewable instead of rotting
-// silently in the tree.
+// the place, the analyzer names it shields, the justification the author
+// gave, and whether the suppression still does anything. The audit
+// listing (spanlint -ignores) exists so the waivers the lint gate is
+// honoring stay reviewable instead of rotting silently in the tree.
 type IgnoreSite struct {
 	File          string
 	Line          int
 	Analyzers     string // the comma list exactly as written
 	Justification string
+	// Used reports that the site suppressed at least one diagnostic when
+	// the analyzers were replayed over its package. A site that is not
+	// Used is stale: the code it excused has changed (or the analyzer
+	// has), and the waiver should be deleted rather than left to shield
+	// a future regression nobody reviews.
+	Used bool
 }
 
-// ListIgnores loads the packages matched by the patterns and returns
-// every suppression site in file/line order. It reuses the same parser
-// the suppression pass applies, so the audit and the gate can never
-// disagree about what counts as an ignore.
-func ListIgnores(patterns []string) ([]IgnoreSite, error) {
+// ListIgnores loads the packages matched by the patterns, replays the
+// analyzers over them with suppression-usage tracking, and returns every
+// suppression site in file/line order with its Used bit set. It reuses
+// the same parser and the same suppression pass the gate applies, so the
+// audit and the gate can never disagree about what counts as an ignore
+// or whether it fires.
+func ListIgnores(patterns []string, analyzers []*Analyzer) ([]IgnoreSite, error) {
 	pkgs, err := Load(patterns)
 	if err != nil {
 		return nil, err
 	}
+	used := make(map[string]bool)
+	facts := NewFactStore()
 	var sites []IgnoreSite
 	for _, pkg := range pkgs {
+		cfg := &RunConfig{Facts: facts, FactsOnly: pkg.FactsOnly, UsedIgnores: used}
+		if _, err := RunPackage(pkg, analyzers, cfg); err != nil {
+			return nil, err
+		}
+		if pkg.FactsOnly {
+			continue // not a named target; its sites are listed when it is
+		}
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
@@ -47,6 +64,9 @@ func ListIgnores(patterns []string) ([]IgnoreSite, error) {
 			}
 		}
 	}
+	for i := range sites {
+		sites[i].Used = used[fmt.Sprintf("%s:%d", sites[i].File, sites[i].Line)]
+	}
 	sort.Slice(sites, func(i, j int) bool {
 		if sites[i].File != sites[j].File {
 			return sites[i].File < sites[j].File
@@ -56,10 +76,18 @@ func ListIgnores(patterns []string) ([]IgnoreSite, error) {
 	return sites, nil
 }
 
-// PrintIgnores writes the audit listing, one site per line:
-// file:line: names: justification.
-func PrintIgnores(w io.Writer, sites []IgnoreSite) {
+// PrintIgnores writes the audit listing, one site per line
+// (file:line: names: justification), flagging stale sites. It returns
+// the number of stale sites so the caller can turn them into an exit
+// status.
+func PrintIgnores(w io.Writer, sites []IgnoreSite) (stale int) {
 	for _, s := range sites {
-		fmt.Fprintf(w, "%s:%d: %s: %s\n", s.File, s.Line, s.Analyzers, s.Justification)
+		marker := ""
+		if !s.Used {
+			marker = " [STALE — suppresses nothing]"
+			stale++
+		}
+		fmt.Fprintf(w, "%s:%d: %s: %s%s\n", s.File, s.Line, s.Analyzers, s.Justification, marker)
 	}
+	return stale
 }

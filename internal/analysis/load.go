@@ -28,11 +28,13 @@ type listedPackage struct {
 }
 
 // Load resolves the patterns with `go list -export -deps -json`, parses
-// and type-checks every matched (non-dependency) package from source, and
-// returns them ready for Run. Dependencies — standard library and
-// intra-module alike — are consumed as compiler export data, exactly like
-// a vet run, so loading cost is parsing plus type-checking the targets
-// only.
+// and type-checks every matched package from source, and returns them
+// ready for Run — in dependency order, since `go list -deps` emits a
+// package only after everything it imports. Standard-library
+// dependencies are consumed as compiler export data, exactly like a vet
+// run; in-module dependencies outside the requested patterns are parsed
+// from source too, marked FactsOnly, so the fact-producing analyzers
+// can summarize them before their importers are checked.
 func Load(patterns []string) ([]*Package, error) {
 	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -55,7 +57,7 @@ func Load(patterns []string) ([]*Package, error) {
 		if lp.Export != "" {
 			exports[lp.ImportPath] = lp.Export
 		}
-		if !lp.DepOnly {
+		if !lp.Standard {
 			p := lp
 			targets = append(targets, &p)
 		}
@@ -90,6 +92,7 @@ func Load(patterns []string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.FactsOnly = lp.DepOnly
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil

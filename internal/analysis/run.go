@@ -20,12 +20,48 @@ type Package struct {
 	// still run (the syntax and partial type information are usable) but
 	// their reports on such a package are best-effort.
 	IllTyped bool
+	// FactsOnly marks an in-module dependency loaded solely so the
+	// fact-producing analyzers can summarize it; its diagnostics are
+	// not reported.
+	FactsOnly bool
+}
+
+// A RunConfig adjusts one package's analysis run. The zero value (and a
+// nil pointer) is the plain single-package run Run performs.
+type RunConfig struct {
+	// Facts is the fact store shared across the packages of a
+	// multi-package run; analyzers exchange function summaries through
+	// it. Nil gives the package a private store, so fact-using analyzers
+	// still work (package-locally) in fixtures and unit tests.
+	Facts *FactStore
+	// FactsOnly restricts the run to analyzers that produce or consume
+	// facts (plus their Requires): the mode dependency packages are
+	// analyzed in, purely to populate the store. Diagnostics of a
+	// facts-only run are discarded by the callers.
+	FactsOnly bool
+	// UsedIgnores, when non-nil, collects the "file:line" of every
+	// //spanlint:ignore comment that suppressed at least one diagnostic
+	// in this run — the signal the stale-suppression audit inverts.
+	UsedIgnores map[string]bool
 }
 
 // Run executes the analyzers (and, first, their transitive Requires) over
 // the package and returns the surviving diagnostics in file/line order,
 // with site-level //spanlint:ignore suppressions already applied.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunPackage(pkg, analyzers, nil)
+}
+
+// RunPackage is Run with an explicit configuration: a cross-package fact
+// store, the facts-only dependency mode, and used-ignore tracking.
+func RunPackage(pkg *Package, analyzers []*Analyzer, cfg *RunConfig) ([]Diagnostic, error) {
+	if cfg == nil {
+		cfg = &RunConfig{}
+	}
+	facts := cfg.Facts
+	if facts == nil {
+		facts = NewFactStore()
+	}
 	var diags []Diagnostic
 	results := make(map[*Analyzer]any)
 	ran := make(map[*Analyzer]bool)
@@ -36,6 +72,9 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			return nil
 		}
 		ran[a] = true // pre-mark: a Requires cycle is a programming error, not a hang
+		if err := factTypesValid(a); err != nil {
+			return err
+		}
 		for _, req := range a.Requires {
 			if err := exec(req); err != nil {
 				return err
@@ -48,6 +87,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
 			ResultOf:  results,
+			facts:     facts,
 			report: func(d Diagnostic) {
 				d.Analyzer = a.Name
 				diags = append(diags, d)
@@ -61,12 +101,15 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		return nil
 	}
 	for _, a := range analyzers {
+		if cfg.FactsOnly && !UsesFacts(a) {
+			continue
+		}
 		if err := exec(a); err != nil {
 			return nil, err
 		}
 	}
 
-	diags = suppress(pkg, diags)
+	diags = suppress(pkg, diags, cfg.UsedIgnores)
 	sort.SliceStable(diags, func(i, j int) bool {
 		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
 		if pi.Filename != pj.Filename {
@@ -99,11 +142,20 @@ func parseIgnore(text string) (names, justification string, ok bool) {
 	return m[1], strings.TrimSpace(m[2]), true
 }
 
+// An ignoreEntry is one analyzer name granted by a suppression comment,
+// remembering the comment's own site so usage can be credited back to it.
+type ignoreEntry struct {
+	name string
+	site string // "file:line" of the comment itself
+}
+
 // suppress drops diagnostics whose site carries a matching
 // //spanlint:ignore comment on the same line or the line directly above.
-func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
-	// ignores[file][line] = analyzer names suppressed at that line.
-	ignores := make(map[string]map[int][]string)
+// When used is non-nil, the site of every comment that suppressed at
+// least one diagnostic is recorded in it (the stale-ignore audit signal).
+func suppress(pkg *Package, diags []Diagnostic, used map[string]bool) []Diagnostic {
+	// ignores[file][line] = suppression entries in effect at that line.
+	ignores := make(map[string]map[int][]ignoreEntry)
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -114,14 +166,17 @@ func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
 				pos := pkg.Fset.Position(c.Pos())
 				byLine := ignores[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int][]string)
+					byLine = make(map[int][]ignoreEntry)
 					ignores[pos.Filename] = byLine
 				}
-				names := strings.Split(nameList, ",")
-				// The comment shields its own line and the next: a
-				// comment above a statement names the statement below it.
-				byLine[pos.Line] = append(byLine[pos.Line], names...)
-				byLine[pos.Line+1] = append(byLine[pos.Line+1], names...)
+				site := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, name := range strings.Split(nameList, ",") {
+					e := ignoreEntry{name: name, site: site}
+					// The comment shields its own line and the next: a
+					// comment above a statement names the statement below it.
+					byLine[pos.Line] = append(byLine[pos.Line], e)
+					byLine[pos.Line+1] = append(byLine[pos.Line+1], e)
+				}
 			}
 		}
 	}
@@ -132,9 +187,12 @@ func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
 	for _, d := range diags {
 		pos := pkg.Fset.Position(d.Pos)
 		suppressed := false
-		for _, name := range ignores[pos.Filename][pos.Line] {
-			if name == d.Analyzer {
+		for _, e := range ignores[pos.Filename][pos.Line] {
+			if e.name == d.Analyzer {
 				suppressed = true
+				if used != nil {
+					used[e.site] = true
+				}
 				break
 			}
 		}

@@ -93,6 +93,48 @@ func a() {} //spanlint:ignore reportcalls same-line suppression
 	}
 }
 
+func TestUsedIgnores(t *testing.T) {
+	pkg := checkPackage(t, `package p
+
+//spanlint:ignore reportcalls live: suppresses the func a diagnostic
+func a() {}
+
+var x = 1 //spanlint:ignore reportcalls stale: vars are never flagged
+`)
+	used := make(map[string]bool)
+	diags, err := RunPackage(pkg, []*Analyzer{reportCalls}, &RunConfig{UsedIgnores: used})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("expected the ignore to suppress func a, got %v", diags)
+	}
+	if !used["a.go:3"] {
+		t.Errorf("the suppressing site a.go:3 was not recorded as used: %v", used)
+	}
+	if used["a.go:6"] {
+		t.Errorf("the no-op site a.go:6 was recorded as used: %v", used)
+	}
+}
+
+func TestPrintIgnoresStale(t *testing.T) {
+	sites := []IgnoreSite{
+		{File: "a.go", Line: 3, Analyzers: "reportcalls", Justification: "live", Used: true},
+		{File: "a.go", Line: 7, Analyzers: "reportcalls", Justification: "rotted", Used: false},
+	}
+	var buf strings.Builder
+	if stale := PrintIgnores(&buf, sites); stale != 1 {
+		t.Errorf("PrintIgnores reported %d stale sites, want 1", stale)
+	}
+	out := buf.String()
+	if strings.Contains(strings.SplitN(out, "\n", 2)[0], "STALE") {
+		t.Errorf("the live site is marked stale:\n%s", out)
+	}
+	if !strings.Contains(out, "a.go:7: reportcalls: rotted [STALE") {
+		t.Errorf("the stale site is not marked:\n%s", out)
+	}
+}
+
 func TestRequiresOrder(t *testing.T) {
 	var order []string
 	base := &Analyzer{

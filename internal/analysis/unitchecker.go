@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 )
 
@@ -26,6 +27,7 @@ type vetConfig struct {
 	IgnoredFiles []string
 	ImportMap    map[string]string
 	PackageFile  map[string]string
+	PackageVetx  map[string]string
 	Standard     map[string]bool
 	VetxOnly     bool
 	VetxOutput   string
@@ -50,7 +52,8 @@ type vetConfig struct {
 // itself) so cmd/go never forwards them: -json switches the diagnostic
 // stream to NDJSON on stdout for tooling, and -ignores prints the
 // //spanlint:ignore audit listing for the named packages instead of
-// checking them.
+// checking them, exiting 2 if any directive is stale (no longer
+// suppresses a diagnostic).
 func Main(analyzers ...*Analyzer) {
 	fs := flag.NewFlagSet(filepath.Base(os.Args[0]), flag.ExitOnError)
 	versionFlag := fs.String("V", "", "print version and exit (cmd/go protocol)")
@@ -116,12 +119,15 @@ func Main(analyzers ...*Analyzer) {
 			fmt.Fprintf(os.Stderr, "usage: %s -ignores packages...\n", filepath.Base(os.Args[0]))
 			os.Exit(2)
 		}
-		sites, err := ListIgnores(args)
+		sites, err := ListIgnores(args, enabled)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		PrintIgnores(os.Stdout, sites)
+		if stale := PrintIgnores(os.Stdout, sites); stale > 0 {
+			fmt.Fprintf(os.Stderr, "%d stale //spanlint:ignore directive(s): delete them or re-justify\n", stale)
+			os.Exit(2)
+		}
 		os.Exit(0)
 	}
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
@@ -132,6 +138,21 @@ func Main(analyzers ...*Analyzer) {
 		os.Exit(2)
 	}
 	os.Exit(runStandalone(args, enabled, *jsonFlag))
+}
+
+// isStdUnit reports whether the unit being checked is a standard-library
+// package: every one of its sources lives under the toolchain's GOROOT.
+// The driver binary is built by the same toolchain that schedules it, so
+// runtime.GOROOT is the right root to test against.
+func isStdUnit(cfg *vetConfig) bool {
+	root := filepath.Join(runtime.GOROOT(), "src")
+	for _, f := range cfg.GoFiles {
+		rel, err := filepath.Rel(root, f)
+		if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+			return false
+		}
+	}
+	return len(cfg.GoFiles) > 0
 }
 
 // runUnit checks the single package described by a cmd/go vet config.
@@ -146,10 +167,15 @@ func runUnit(cfgFile string, analyzers []*Analyzer, asJSON bool) int {
 		fmt.Fprintf(os.Stderr, "%s: parsing vet config: %v\n", cfgFile, err)
 		return 1
 	}
-	// Dependency packages are scheduled by cmd/go only for their facts
-	// (VetxOnly); this checker keeps no facts, so acknowledge and return.
-	if cfg.VetxOnly {
-		writeVetx(cfg.VetxOutput)
+	// Standard-library packages are scheduled as fact-only (VetxOnly)
+	// dependency runs, but summarizing all of std on every vet invocation
+	// would dominate the lint budget; the fact analyzers instead model
+	// std callees with a conservative allowlist, so std gets an empty
+	// fact file and only module packages are actually summarized. The
+	// config's Standard map only classifies the unit's imports, never the
+	// unit itself, so std-ness is detected from where the sources live.
+	if cfg.VetxOnly && (cfg.Standard[cfg.ImportPath] || isStdUnit(&cfg)) {
+		writeVetx(cfg.VetxOutput, nil, "")
 		return 0
 	}
 
@@ -179,7 +205,7 @@ func runUnit(cfgFile string, analyzers []*Analyzer, asJSON bool) int {
 	pkg, err := TypeCheck(fset, cfg.ImportPath, files, imp)
 	if err != nil || pkg.IllTyped {
 		if cfg.SucceedOnTypecheckFailure {
-			writeVetx(cfg.VetxOutput)
+			writeVetx(cfg.VetxOutput, nil, "")
 			return 0
 		}
 		if err != nil {
@@ -187,32 +213,56 @@ func runUnit(cfgFile string, analyzers []*Analyzer, asJSON bool) int {
 			return 1
 		}
 	}
-	diags, err := Run(pkg, analyzers)
+
+	// Merge the dependency facts cmd/go delivered as .vetx files; their
+	// keys are the dependencies' import paths, which is exactly how
+	// ImportObjectFact will look them up.
+	facts := NewFactStore()
+	for path, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			continue // treat an unreadable dependency fact file as fact-free
+		}
+		if err := facts.DecodeFacts(path, data); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+
+	runCfg := &RunConfig{Facts: facts, FactsOnly: cfg.VetxOnly}
+	diags, err := RunPackage(pkg, analyzers, runCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	writeVetx(cfg.VetxOutput)
-	if len(diags) == 0 {
+	writeVetx(cfg.VetxOutput, facts, cfg.ImportPath)
+	if cfg.VetxOnly || len(diags) == 0 {
 		return 0
 	}
 	printDiags(fset, diags, asJSON)
 	return 2
 }
 
-// runStandalone loads the patterns itself and checks every matched package.
+// runStandalone loads the patterns itself and checks every matched
+// package. Load returns the packages in dependency order with in-module
+// dependencies marked FactsOnly, so one shared fact store played through
+// that order gives every package the summaries of everything it imports.
 func runStandalone(patterns []string, analyzers []*Analyzer, asJSON bool) int {
 	pkgs, err := Load(patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	facts := NewFactStore()
 	exit := 0
 	for _, pkg := range pkgs {
-		diags, err := Run(pkg, analyzers)
+		diags, err := RunPackage(pkg, analyzers, &RunConfig{Facts: facts, FactsOnly: pkg.FactsOnly})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
+		}
+		if pkg.FactsOnly {
+			continue // analyzed for summaries only; not a named target
 		}
 		if len(diags) > 0 {
 			printDiags(pkg.Fset, diags, asJSON)
@@ -245,12 +295,20 @@ func printDiags(fset *token.FileSet, diags []Diagnostic, asJSON bool) {
 	}
 }
 
-// writeVetx writes the (empty) per-package fact file cmd/go expects a vet
-// tool to produce, so its result caching works across runs.
-func writeVetx(path string) {
-	if path != "" {
-		_ = os.WriteFile(path, []byte{}, 0o666)
+// writeVetx writes the per-package fact file cmd/go expects a vet tool to
+// produce: the serialized facts of pkgPath when a store is given, an
+// empty placeholder otherwise (std packages, typecheck-failure exits).
+func writeVetx(path string, facts *FactStore, pkgPath string) {
+	if path == "" {
+		return
 	}
+	payload := []byte{}
+	if facts != nil {
+		if data, err := facts.EncodeFacts(pkgPath); err == nil {
+			payload = data
+		}
+	}
+	_ = os.WriteFile(path, payload, 0o666)
 }
 
 // executableHash fingerprints the running binary; "unknown" fallbacks keep

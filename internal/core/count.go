@@ -313,6 +313,10 @@ func NewCountStream(a Automaton) *CountStream {
 // Once the live state set drains — no partial run survives — no later byte
 // can revive one, so Feed returns immediately and the remaining input costs
 // nothing beyond delivery.
+//
+// spanlint:hotpath — the uint64 counting loop allocates nothing; hotalloc
+// (cmd/spanlint) enforces it. The arbitrary-precision fallback (feedBig)
+// allocates by design and is waived at its call site.
 func (s *CountStream) Feed(chunk []byte) {
 	if s.closed {
 		panic("core: CountStream.Feed after Close")
@@ -342,6 +346,14 @@ func (s *CountStream) Feed(chunk []byte) {
 		}
 		s.migrate()
 	}
+	//spanlint:ignore hotalloc big.Int arithmetic allocates by design; entered only after a uint64 overflow, never on the fast path
+	s.feedBig(chunk)
+}
+
+// feedBig advances the arbitrary-precision counting pass over chunk. It is
+// the post-overflow continuation of Feed and allocates freely (big.Int
+// arithmetic), which is why it lives outside the spanlint:hotpath contract.
+func (s *CountStream) feedBig(chunk []byte) {
 	for i, last := 0, 0; i < len(chunk) && len(s.bc.live) > 0; {
 		if s.gate.on {
 			if q, ok := s.gate.scanState(s.bc.live); ok {

@@ -30,6 +30,11 @@ type Result struct {
 //
 // Evaluate is the whole-document form of the incremental Stream: it feeds
 // doc in one piece and closes. The Result borrows doc (it is not copied).
+//
+// spanlint:hotpath — hotalloc (cmd/spanlint) proves the evaluation chain
+// transitively allocation-free; without a scratch the Stream/evaluation
+// shells themselves are the only per-call allocations (nil-init cold
+// path), with one the pass allocates nothing once warm.
 func Evaluate(a Automaton, doc []byte) *Result {
 	return EvaluateScratch(a, doc, nil)
 }
@@ -39,6 +44,10 @@ func Evaluate(a Automaton, doc []byte) *Result {
 // the returned Result points into the scratch's arena: it is valid only
 // until the scratch's next use, so the caller must fully consume (or
 // Collect) it first.
+//
+// spanlint:hotpath — with a warm scratch a whole pass allocates nothing;
+// the AllocsPerRun tests in this package pin that at runtime, hotalloc
+// (cmd/spanlint) proves it statically.
 func EvaluateScratch(a Automaton, doc []byte, sc *Scratch) *Result {
 	s := NewStream(a, sc)
 	s.FeedBorrowed(doc)

@@ -23,36 +23,52 @@ type Stream struct {
 	pos    int
 	closed bool
 	res    *Result
+	// resVal and finals are the Close outputs, stored inline so a
+	// scratch-backed pass closes without allocating: the Result and its
+	// finals table are recycled with the rest of the scratch state.
+	resVal Result
+	finals []list
 }
 
 // Scratch holds the reusable per-document state of a preprocessing pass:
-// the Algorithm 1 tables and the arena backing the DAG. Reusing a Scratch
-// across documents recycles the arena chunks, so compile-once/evaluate-many
-// workloads stop paying the per-document allocation of the DAG.
+// the Algorithm 1 tables, the arena backing the DAG, and the Stream/Result
+// shells themselves. Reusing a Scratch across documents recycles all of it,
+// so compile-once/evaluate-many workloads pay zero allocations per document
+// once warm (the hotalloc analyzer proves the code path, and the
+// AllocsPerRun tests in core pin the runtime behavior).
 //
-// Ownership rule: a Result obtained through a Scratch points into the
-// scratch's arena and is invalidated by the scratch's next use. Consume the
-// Result completely (Enumerate, Collect, Count the matches) before reusing
-// the scratch; mappings must be Cloned to outlive it (their clones hold
-// plain span integers, not arena pointers). A Scratch is not goroutine-safe;
-// pool one per worker (see the spanner facade's sync.Pool).
+// Ownership rule: a Stream or Result obtained through a Scratch points into
+// the scratch and is invalidated by the scratch's next use (the next
+// NewStream or EvaluateScratch with it). Consume the Result completely
+// (Enumerate, Collect, Count the matches) before reusing the scratch;
+// mappings must be Cloned to outlive it (their clones hold plain span
+// integers, not arena pointers). A Scratch is not goroutine-safe; pool one
+// per worker (see the spanner facade's sync.Pool).
 type Scratch struct {
-	eval evaluation
+	eval   evaluation
+	stream Stream
 }
 
 // NewStream starts an incremental preprocessing pass of a over a document
-// to be delivered via Feed. sc may be nil; when non-nil, its tables and
-// arena are recycled and the eventual Result is valid only until the
-// scratch's next use.
+// to be delivered via Feed. sc may be nil; when non-nil, its tables, arena
+// and stream state are recycled, and both the returned Stream and the
+// eventual Result are valid only until the scratch's next use.
+//
+// spanlint:hotpath — the warm-scratch path allocates nothing; hotalloc
+// (cmd/spanlint) enforces it transitively.
 func NewStream(a Automaton, sc *Scratch) *Stream {
+	var s *Stream
 	var e *evaluation
 	if sc != nil {
+		s = &sc.stream
 		e = &sc.eval
 	} else {
+		s = &Stream{}
 		e = &evaluation{}
 	}
+	finals := s.finals[:0]
+	*s = Stream{e: e, sc: sc, finals: finals}
 	e.init(a)
-	s := &Stream{e: e, sc: sc}
 	s.gate.init(a)
 	return s
 }
@@ -100,6 +116,10 @@ func (s *Stream) CloseWith(doc []byte) *Result {
 // process runs Capturing/Reading over chunk without touching the document
 // buffer; Evaluate uses it directly to borrow the caller's slice instead of
 // copying.
+//
+// spanlint:hotpath — the per-byte scan loop; hotalloc (cmd/spanlint)
+// proves it transitively allocation-free (arena growth rides the
+// cap-guarded cold path).
 func (s *Stream) process(chunk []byte) {
 	i, last := 0, 0
 	for i < len(chunk) {
@@ -153,8 +173,12 @@ func (s *Stream) Dead() bool { return len(s.e.live) == 0 }
 
 // Close runs the final Capturing(n+1) and returns the preprocessing
 // Result. Close is idempotent: subsequent calls return the same Result.
-// If the stream was created with a Scratch, the Result is valid only until
-// the scratch's next use.
+// The Result lives inside the Stream (and thus inside the Scratch when
+// one backs the pass): scratch-backed Results are valid only until the
+// scratch's next use, exactly as before, and closing allocates nothing.
+//
+// spanlint:hotpath — closes the Evaluate/EvaluateScratch chain without
+// allocating; hotalloc (cmd/spanlint) enforces it.
 func (s *Stream) Close() *Result {
 	if s.closed {
 		return s.res
@@ -162,12 +186,13 @@ func (s *Stream) Close() *Result {
 	s.closed = true
 	e := s.e
 	e.capturing(s.pos + 1)
-	res := &Result{reg: e.a.Registry(), ar: e.ar, doc: s.buf}
+	s.finals = s.finals[:0]
 	for _, q := range e.live {
 		if e.a.Accepting(q) {
-			res.finals = append(res.finals, e.lists[q])
+			s.finals = append(s.finals, e.lists[q])
 		}
 	}
-	s.res = res
-	return res
+	s.resVal = Result{reg: e.a.Registry(), ar: e.ar, doc: s.buf, finals: s.finals}
+	s.res = &s.resVal
+	return s.res
 }

@@ -167,6 +167,9 @@ func (s compiledStepper) caps(q int) []model.Capture     { return s.c.Captures(q
 func (c *Compiled) Initial() int { return c.initial }
 
 // Step returns δ(q, ch): a class lookup and a table load.
+//
+// spanlint:hotpath — the dense-dispatch inner step; hotalloc
+// (cmd/spanlint) keeps it allocation-free.
 func (c *Compiled) Step(q int, ch byte) (int, bool) {
 	t := c.next[q<<c.shift|int(c.classOf[ch])]
 	return int(t), t >= 0
@@ -213,6 +216,10 @@ func (c *Compiled) accelFor(q int) *accel {
 // while the live configuration is exactly the singleton {q}: processing
 // them would leave the configuration untouched, so the caller may advance
 // its position counter past them wholesale. 0 means no skip.
+//
+// spanlint:hotpath — the prefilter gate sits inside the scan loop;
+// hotalloc (cmd/spanlint) keeps it allocation-free (the record search
+// runs on allowlisted bytes primitives).
 func (c *Compiled) AccelSkip(q int, chunk []byte) int {
 	if a := c.accelFor(q); a != nil {
 		return a.find(chunk)

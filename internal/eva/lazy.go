@@ -173,7 +173,9 @@ func (l *Lazy) accelRec(q int) *accel {
 // AccelSkip returns how many leading bytes of chunk are provably inert
 // while the live configuration is exactly the singleton {q} (see
 // Compiled.AccelSkip). Like Step it mints and memoizes on first use and is
-// not safe for concurrent use.
+// not safe for concurrent use. Unlike Compiled.AccelSkip it carries no
+// spanlint:hotpath annotation: minting and memoizing allocate by design,
+// so the zero-alloc contract holds only for the strict (Compiled) path.
 func (l *Lazy) AccelSkip(q int, chunk []byte) int {
 	if l.accelOff {
 		return 0

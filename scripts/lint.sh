@@ -7,15 +7,74 @@
 #   3. spanlint     — the custom multichecker (cmd/spanlint) as a
 #                     vettool over ./..., hard-failing on any finding
 #   4. ignore audit — print every //spanlint:ignore waiver with its
-#                     justification, so suppressions stay reviewable
+#                     justification and fail on stale ones, so
+#                     suppressions stay reviewable and never outlive
+#                     the finding they waived
 #   5. analyzer fixture tests — the analyzers' own test suites
 #
-# Usage: ./scripts/lint.sh   (from the repo root)
+# Usage:
+#   ./scripts/lint.sh             full run over ./... (what CI executes)
+#   ./scripts/lint.sh --changed   fast mode for pre-commit hooks: scope
+#                                 every gate to the packages with
+#                                 uncommitted .go changes (vs HEAD, plus
+#                                 untracked files). Cross-package facts
+#                                 still flow — go vet rebuilds dependency
+#                                 summaries from the build cache — but
+#                                 only the changed packages are re-checked
+#                                 and the fixture tests run only when the
+#                                 analyzers themselves changed. CI must
+#                                 keep the full run: fast mode cannot see
+#                                 a changed summary breaking an UNchanged
+#                                 downstream hot path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+mode=full
+if [ "${1:-}" = "--changed" ]; then
+  mode=changed
+elif [ -n "${1:-}" ]; then
+  echo "usage: $0 [--changed]" >&2
+  exit 2
+fi
+
+# Targets for each gate: the whole tree, or just the changed packages.
+fmt_targets=(.)
+pkg_targets=(./...)
+test_targets=(./internal/analysis/... ./internal/analyzers/... ./cmd/spanlint/)
+if [ "$mode" = changed ]; then
+  changed_files=$(
+    { git diff --name-only HEAD -- '*.go'
+      git ls-files --others --exclude-standard -- '*.go'; } | sort -u
+  )
+  fmt_targets=() pkg_targets=() test_targets=()
+  analyzers_changed=false
+  if [ -n "$changed_files" ]; then
+    while IFS= read -r f; do
+      [ -f "$f" ] || continue # deleted files have no package to lint
+      fmt_targets+=("$f")
+      case $f in
+        internal/analysis/*|internal/analyzers/*|cmd/spanlint/*) analyzers_changed=true ;;
+      esac
+    done <<<"$changed_files"
+    if [ "${#fmt_targets[@]}" -gt 0 ]; then
+      # testdata trees hold the analyzers' deliberate-violation fixtures;
+      # go vet ./... never descends into them, and neither may fast mode.
+      mapfile -t pkg_targets < <(printf '%s\n' "${fmt_targets[@]}" | xargs -n1 dirname |
+        grep -v -e '/testdata/' -e '/testdata$' | sort -u | sed 's|^|./|')
+    fi
+  fi
+  if [ "${#pkg_targets[@]}" -eq 0 ]; then
+    echo "lint (--changed): no changed Go files, nothing to do"
+    exit 0
+  fi
+  if [ "$analyzers_changed" = true ]; then
+    test_targets=(./internal/analysis/... ./internal/analyzers/... ./cmd/spanlint/)
+  fi
+  echo "lint (--changed): scoping to ${pkg_targets[*]}"
+fi
+
 echo "==> gofmt"
-out=$(gofmt -l .)
+out=$(gofmt -l "${fmt_targets[@]}")
 if [ -n "$out" ]; then
   echo "gofmt needed on:"
   echo "$out"
@@ -23,21 +82,25 @@ if [ -n "$out" ]; then
 fi
 
 echo "==> go vet"
-go vet ./...
+go vet "${pkg_targets[@]}"
 
 echo "==> spanlint (vettool, hard fail)"
 spanlint_bin=$(mktemp -d)/spanlint
 trap 'rm -rf "$(dirname "$spanlint_bin")"' EXIT
 go build -o "$spanlint_bin" ./cmd/spanlint
-go vet -vettool="$spanlint_bin" ./...
+go vet -vettool="$spanlint_bin" "${pkg_targets[@]}"
 
 echo "==> spanlint ignore audit"
-"$spanlint_bin" -ignores ./... || {
+"$spanlint_bin" -ignores "${pkg_targets[@]}" || {
   echo "ignore audit failed" >&2
   exit 1
 }
 
-echo "==> analyzer fixture tests"
-go test ./internal/analysis/... ./internal/analyzers/... ./cmd/spanlint/
+if [ "${#test_targets[@]}" -gt 0 ]; then
+  echo "==> analyzer fixture tests"
+  go test "${test_targets[@]}"
+else
+  echo "==> analyzer fixture tests skipped (no analyzer sources changed)"
+fi
 
 echo "lint: all gates passed"
